@@ -1,0 +1,101 @@
+// Command chimera runs the Figure-2 classification pipeline over a stream of
+// generated batches, printing the per-batch precision estimates, decline
+// rates and analyst interventions — a miniature of the production system's
+// operating log. Batch 3 is a drift episode (late-epoch vocabulary from a
+// brand-new vendor) that demonstrates detection, scale-down and repair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// seedRules installs the analyst seed rulebase (see experiments.SeedRules).
+func seedRules(cat *repro.Catalog, rb *repro.Rulebase) error {
+	return experiments.SeedRules(cat, rb, "ana")
+}
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		types     = flag.Int("types", 120, "taxonomy size")
+		trainSize = flag.Int("train", 10000, "bootstrap training items")
+		batches   = flag.Int("batches", 5, "number of incoming batches")
+		batchSize = flag.Int("batch-size", 2000, "items per batch")
+	)
+	flag.Parse()
+
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types, ZipfS: 1.3})
+	p := repro.NewPipeline(repro.PipelineConfig{Seed: *seed})
+
+	fmt.Printf("bootstrapping: %d types, %d training items\n", *types, *trainSize)
+	p.Train(cat.LabeledData(*trainSize))
+	if err := seedRules(cat, p.Rules); err != nil {
+		fmt.Fprintf(os.Stderr, "seeding rules: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("initial state: %s\n\n", p.Describe())
+	fmt.Printf("%-8s %-28s %9s %9s %9s %9s  %s\n",
+		"batch", "source", "est prec", "true prec", "recall", "declined", "actions")
+
+	for i := 0; i < *batches; i++ {
+		spec := repro.BatchSpec{Size: *batchSize, Epoch: i / 2}
+		source := fmt.Sprintf("epoch %d mixed vendors", spec.Epoch)
+		if i == 3 {
+			spec.Epoch, spec.Vendor = 3, "brand-new-vendor"
+			source = "epoch 3 NEW vendor (drift)"
+		}
+		batch := cat.GenerateBatch(spec)
+		res := p.ProcessBatch(batch)
+		truePrec, rec := res.TruePrecisionRecall()
+		rep, err := p.EvaluateAndImprove(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaluation: %v\n", err)
+			os.Exit(1)
+		}
+
+		actions := fmt.Sprintf("%d patch rules, %d relabeled", len(rep.NewRuleIDs), rep.Relabeled)
+		if !rep.PassedGate {
+			// First-responder drill: scale down the degraded types, note it.
+			flagged := flaggedDecisions(res)
+			degraded := degradedTypes(flagged)
+			for _, ty := range degraded {
+				if _, err := p.ScaleDownType(ty, "ana", "auto scale-down"); err == nil {
+					actions += fmt.Sprintf(", scaled down %q", ty)
+				}
+			}
+		}
+		fmt.Printf("%-8d %-28s %9.3f %9.3f %9.3f %9.3f  %s\n",
+			i, source, rep.EstPrecision, truePrec, rec, res.DeclineRate(), actions)
+	}
+	fmt.Printf("\nfinal state: %s\n", p.Describe())
+	fmt.Printf("precision history: %v\n", p.PrecisionHistory())
+}
+
+func flaggedDecisions(res *repro.BatchResult) []repro.Decision {
+	var out []repro.Decision
+	for _, d := range res.Decisions {
+		if !d.Declined && d.Type != d.Item.TrueType {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func degradedTypes(flagged []repro.Decision) []string {
+	counts := map[string]int{}
+	for _, d := range flagged {
+		counts[d.Type]++
+	}
+	var out []string
+	for ty, n := range counts {
+		if n >= 10 {
+			out = append(out, ty)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's quantitative claims (E1–E11,
+// see DESIGN.md) and renders the paper-vs-measured report.
+//
+// Usage:
+//
+//	experiments -all [-o EXPERIMENTS.md]     run everything
+//	experiments -run E3                      run one experiment
+//	experiments -list                        list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all  = flag.Bool("all", false, "run all experiments E1–E11")
+		run  = flag.String("run", "", "run a single experiment by ID (e.g. E3)")
+		list = flag.Bool("list", false, "list experiment IDs and titles")
+		seed = flag.Uint64("seed", 42, "deterministic seed")
+		out  = flag.String("o", "", "also write the markdown report to this file")
+	)
+	flag.Parse()
+
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var reports []*experiments.Report
+	switch {
+	case *all:
+		for _, id := range ids {
+			start := time.Now()
+			fmt.Fprintf(os.Stderr, "running %s…", id)
+			rep := experiments.ByID(id, *seed)
+			fmt.Fprintf(os.Stderr, " done in %v (shape ok: %v)\n", time.Since(start).Round(time.Millisecond), rep.ShapeOK)
+			reports = append(reports, rep)
+		}
+	case *run != "":
+		rep := experiments.ByID(*run, *seed)
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		reports = append(reports, rep)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	md := experiments.RenderMarkdown(reports)
+	fmt.Print(md)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

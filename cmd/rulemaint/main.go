@@ -1,0 +1,154 @@
+// Command rulemaint runs the §4 maintenance analyses over a rulebase:
+// subsumption, duplicates, significant overlaps, staleness against a fresh
+// corpus, consolidation candidates, and taxonomy-split retargeting. It
+// consumes a rulebase JSON written by `rulegen -o` (or builds a demo
+// rulebase when none is given) and can apply the safe cleanups with -apply.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "rulebase JSON (from rulegen -o); empty builds a demo rulebase")
+		seed       = flag.Uint64("seed", 42, "deterministic seed")
+		types      = flag.Int("types", 100, "taxonomy size for the corpus")
+		corpusSize = flag.Int("corpus", 5000, "fresh-corpus size for coverage analyses")
+		overlapThr = flag.Float64("overlap", 0.4, "significant-overlap Jaccard threshold")
+		apply      = flag.Bool("apply", false, "retire subsumed/duplicate/stale rules")
+		out        = flag.String("o", "", "write the (possibly cleaned) rulebase JSON here")
+	)
+	flag.Parse()
+
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types})
+	rb := repro.NewRulebase()
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal("reading %s: %v", *in, err)
+		}
+		if err := json.Unmarshal(data, rb); err != nil {
+			fatal("parsing %s: %v", *in, err)
+		}
+	} else {
+		if err := experiments.SeedRules(cat, rb, "ana"); err != nil {
+			fatal("seeding: %v", err)
+		}
+		// Demo redundancy: the paper's motifs.
+		demo := []func() (*repro.Rule, error){
+			func() (*repro.Rule, error) { return repro.NewWhitelist("jeans?", "jeans") },
+			func() (*repro.Rule, error) { return repro.NewWhitelist("denim.*jeans?", "jeans") },
+			func() (*repro.Rule, error) { return repro.NewWhitelist("jeans?", "jeans") },
+			func() (*repro.Rule, error) { return repro.NewWhitelist("pants?", "pants") },
+		}
+		for _, mk := range demo {
+			if r, err := mk(); err == nil {
+				_, _ = rb.Add(r, "ana2")
+			}
+		}
+	}
+	fmt.Printf("rulebase: %d rules\n", rb.Len())
+
+	corpus := cat.GenerateBatch(repro.BatchSpec{Size: *corpusSize, Epoch: 1})
+	di := repro.NewDataIndex(corpus)
+	active := rb.Active()
+
+	retire := func(id, why string) {
+		if *apply {
+			if err := rb.Retire(id, "rulemaint", why); err == nil {
+				fmt.Printf("    retired %s (%s)\n", id, why)
+			}
+		}
+	}
+
+	subs := repro.FindSubsumed(active)
+	fmt.Printf("\nsubsumed pairs: %d\n", len(subs))
+	for i, p := range subs {
+		if i < 10 {
+			fmt.Printf("  %s ⊂ %s (target %s)\n", rb.Get(p.SpecificID).Source, rb.Get(p.GeneralID).Source, p.TargetType)
+		}
+		retire(p.SpecificID, "subsumed by "+p.GeneralID)
+	}
+
+	dups := repro.FindDuplicates(rb.Active())
+	fmt.Printf("duplicate pairs: %d\n", len(dups))
+	for _, d := range dups {
+		retire(d.DropID, "duplicate of "+d.KeepID)
+	}
+
+	overlaps := repro.FindOverlaps(rb.Active(), di, *overlapThr)
+	fmt.Printf("significant overlaps (J ≥ %.2f): %d\n", *overlapThr, len(overlaps))
+	for i, o := range overlaps {
+		if i < 10 {
+			fmt.Printf("  %s ~ %s (J=%.2f, %d shared items) — review\n",
+				rb.Get(o.AID).Source, rb.Get(o.BID).Source, o.Jaccard, o.SharedItems)
+		}
+	}
+
+	valid := map[string]bool{}
+	for _, ty := range cat.Types() {
+		valid[ty.Name] = true
+	}
+	stale := repro.FindStale(rb.Active(), di, valid)
+	fmt.Printf("stale rules: %d\n", len(stale))
+	for i, s := range stale {
+		if i < 10 {
+			fmt.Printf("  %s — %s\n", rb.Get(s.RuleID).String(), s.Reason)
+		}
+		retire(s.RuleID, s.Reason)
+	}
+
+	// Taxonomy-split retargeting for dead targets still active.
+	dead := map[string]bool{}
+	for _, r := range rb.Active() {
+		if r.TargetType != "" && !valid[r.TargetType] {
+			dead[r.TargetType] = true
+		}
+	}
+	if len(dead) > 0 {
+		props := repro.ProposeRetarget(rb.Active(), di, dead, 0.2)
+		fmt.Printf("retarget proposals: %d\n", len(props))
+		for _, p := range props {
+			fmt.Printf("  %s →", rb.Get(p.OldRuleID).Source)
+			for _, nr := range p.NewRules {
+				fmt.Printf(" %q", nr.TargetType)
+			}
+			fmt.Println()
+			if *apply {
+				for _, nr := range p.NewRules {
+					_, _ = rb.Add(nr, "rulemaint")
+				}
+				retire(p.OldRuleID, "taxonomy split")
+			}
+		}
+	}
+
+	cons := repro.ConsolidateWhitelists(rb.Active())
+	fmt.Printf("consolidation candidates: %d (analyst trade-off — not auto-applied)\n", len(cons))
+
+	if *apply {
+		fmt.Printf("\nafter cleanup: %+v\n", rb.Stats().ByStatus)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rb, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal("write: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

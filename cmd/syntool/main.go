@@ -1,0 +1,117 @@
+// Command syntool is the §5.1 synonym-finder: given a pattern with a \syn
+// slot, it mines a product-title corpus for candidate synonyms, ranks them
+// by context similarity, and runs the accept/reject feedback loop either
+// interactively (default) or automatically against the catalog's
+// ground-truth vocabulary (-auto -type <product type>).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/tokenize"
+)
+
+func main() {
+	var (
+		patSrc = flag.String("pattern", `(motor | engine | \syn) oils?`, "pattern with a \\syn slot")
+		typ    = flag.String("type", "motor oil", "target product type (oracle for -auto)")
+		corpus = flag.Int("corpus", 10000, "corpus size (generated titles)")
+		seed   = flag.Uint64("seed", 42, "deterministic seed")
+		auto   = flag.Bool("auto", false, "answer with the ground-truth oracle instead of stdin")
+		topK   = flag.Int("k", 10, "candidates shown per iteration")
+	)
+	flag.Parse()
+
+	pat, err := repro.ParsePattern(*patSrc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pattern: %v\n", err)
+		os.Exit(2)
+	}
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: 120})
+	items := cat.GenerateBatch(repro.BatchSpec{Size: *corpus, Epoch: 1})
+	titles := make([][]string, len(items))
+	for i, it := range items {
+		titles[i] = it.TitleTokens()
+	}
+
+	tool, err := repro.NewSynonymTool(pat, titles, repro.SynonymOptions{TopK: *topK})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tool: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pattern %s: %d golden matches, %d candidate synonyms in a %d-title corpus\n",
+		pat.Raw(), tool.GoldenMatches(), tool.Remaining(), len(titles))
+
+	if *auto {
+		oracle := lexiconOracle(cat, *typ)
+		stats := repro.RunSynonymSession(tool, oracle, 0, 3)
+		fmt.Printf("session: %d iterations, %d candidates shown, %d accepted\n",
+			stats.Iterations, stats.CandidatesShown, stats.Accepted)
+	} else {
+		interactive(tool, titles, *topK)
+	}
+
+	fmt.Println("\naccepted synonyms:")
+	for _, ph := range tool.Accepted() {
+		fmt.Printf("  %s\n", strings.Join(ph, " "))
+	}
+	fmt.Printf("\nexpanded rule pattern:\n  %s\n", tool.ExpandedPattern().String())
+}
+
+// interactive runs the analyst loop on stdin: y accepts, n rejects, q quits.
+func interactive(tool *repro.SynonymTool, titles [][]string, topK int) {
+	in := bufio.NewScanner(os.Stdin)
+	for tool.Remaining() > 0 {
+		top := tool.Top(topK)
+		if len(top) == 0 {
+			return
+		}
+		var accepted, rejected []string
+		for _, c := range top {
+			fmt.Printf("\ncandidate: %q  (%d matches)\n", c.Key(), c.Matches)
+			for _, ti := range c.SampleTitles {
+				fmt.Printf("  sample: %s\n", strings.Join(titles[ti], " "))
+			}
+			fmt.Print("accept? [y/n/q] ")
+			if !in.Scan() {
+				return
+			}
+			switch strings.TrimSpace(in.Text()) {
+			case "y", "Y":
+				accepted = append(accepted, c.Key())
+			case "q", "Q":
+				tool.Feedback(accepted, rejected)
+				return
+			default:
+				rejected = append(rejected, c.Key())
+			}
+		}
+		tool.Feedback(accepted, rejected)
+	}
+}
+
+// lexiconOracle accepts candidates from the target type's vocabulary.
+func lexiconOracle(cat *repro.Catalog, typeName string) repro.SynonymOracle {
+	spec := cat.TypeByName(typeName)
+	valid := map[string]bool{}
+	if spec != nil {
+		for _, m := range spec.Modifiers {
+			valid[m] = true
+		}
+		for _, b := range spec.Brands {
+			valid[b] = true
+		}
+		for _, s := range append(spec.Synonyms, spec.HeadTerms...) {
+			toks := tokenize.Tokenize(s.Text)
+			if len(toks) > 1 {
+				valid[strings.Join(toks[:len(toks)-1], " ")] = true
+			}
+		}
+	}
+	return func(phrase []string) bool { return valid[strings.Join(phrase, " ")] }
+}

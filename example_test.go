@@ -1,0 +1,76 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleNewWhitelist shows the paper's opening rule: a title containing
+// "wedding band" classifies as a ring.
+func ExampleNewWhitelist() {
+	rb := repro.NewRulebase()
+	r, _ := repro.NewWhitelist("wedding band", "rings")
+	_, _ = rb.Add(r, "ana")
+
+	exec := repro.NewIndexedExecutor(rb.Active())
+	it := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "Platinaire Wedding Band Size 7"}}
+	fmt.Println(exec.Apply(it).FinalTypes())
+	// Output: [rings]
+}
+
+// ExampleNewAttrExists shows the isbn → books rule.
+func ExampleNewAttrExists() {
+	r, _ := repro.NewAttrExists("isbn", "books")
+	it := &repro.Item{ID: "1", Attrs: map[string]string{
+		"Title": "The Long Afternoon",
+		"isbn":  "9781234567890",
+	}}
+	fmt.Println(r.Matches(it))
+	// Output: true
+}
+
+// ExampleRule_WithGuards shows the §4 rule-language extension: "if the title
+// contains Apple but the price is less than $100 then it is not a phone".
+func ExampleRule_WithGuards() {
+	r, _ := repro.NewBlacklist("apple", "smart phones")
+	r, _ = r.WithGuards(repro.Guard{Attr: "Price", Op: "<", Value: "100"})
+
+	cheap := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "apple case", "Price": "12.99"}}
+	flagship := &repro.Item{ID: "2", Attrs: map[string]string{"Title": "apple smartphone", "Price": "899.00"}}
+	fmt.Println(r.Matches(cheap), r.Matches(flagship))
+	// Output: true false
+}
+
+// ExampleSubsumes shows the §4 maintenance example: jeans? subsumes
+// denim.*jeans?, so the specific rule is redundant.
+func ExampleSubsumes() {
+	general := repro.MustParsePattern("jeans?")
+	specific := repro.MustParsePattern("denim.*jeans?")
+	fmt.Println(repro.Subsumes(general, specific), repro.Subsumes(specific, general))
+	// Output: true false
+}
+
+// ExampleNewEMRule shows the paper's book-matching rule in its own notation.
+func ExampleNewEMRule() {
+	rule := repro.NewEMRule("book-rule",
+		repro.EMAttrEquals("isbn"),
+		repro.EMQGramJaccard("Title", 3, 0.8),
+	)
+	fmt.Println(rule)
+	// Output: book-rule: [a.isbn = b.isbn] ^ [jaccard.3g(a.Title, b.Title) >= 0.80] => a ~ b
+}
+
+// ExampleVerdict_Explain shows rule-level provenance for a prediction — the
+// explainability requirement of §3.2.
+func ExampleVerdict_Explain() {
+	rb := repro.NewRulebase()
+	r, _ := repro.NewWhitelist("rings?", "rings")
+	_, _ = rb.Add(r, "ana")
+	exec := repro.NewSequentialExecutor(rb.Active())
+	it := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "Diamond Accent Ring"}}
+	fmt.Print(exec.Apply(it).Explain())
+	// Output:
+	// type rings because:
+	//   + [R000001 whitelist] rings? → rings
+}

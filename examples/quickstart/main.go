@@ -1,0 +1,54 @@
+// Quickstart: write a few analyst rules, execute them over product items,
+// and read the explainable verdicts — the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rb := repro.NewRulebase()
+
+	// The paper's opening examples: "if the title contains 'wedding band'
+	// then it is a ring", "if a product has an isbn attribute it is a book".
+	add := func(r *repro.Rule, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rb.Add(r, "ana"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add(repro.NewWhitelist("rings?", "rings"))
+	add(repro.NewWhitelist("wedding band", "rings"))
+	add(repro.NewWhitelist("(motor | engine) oils?", "motor oil"))
+	add(repro.NewBlacklist("olive oils?", "motor oil"))
+	add(repro.NewAttrExists("isbn", "books"))
+
+	exec := repro.NewIndexedExecutor(rb.Active())
+
+	items := []*repro.Item{
+		{ID: "1", Attrs: map[string]string{"Title": "Always & Forever Platinaire Wedding Band"}},
+		{ID: "2", Attrs: map[string]string{"Title": "Castrol GTX Motor Oil 5 qt"}},
+		{ID: "3", Attrs: map[string]string{"Title": "Oliveto Extra Virgin Olive Oil"}},
+		{ID: "4", Attrs: map[string]string{"Title": "The Long Afternoon", "isbn": "9781234567890"}},
+	}
+	for _, it := range items {
+		v := exec.Apply(it)
+		fmt.Printf("%-45s → %v\n", it.Attrs["Title"], v.FinalTypes())
+	}
+
+	// Every prediction is explainable (§3.2's liability requirement).
+	fmt.Println("\nwhy is item 1 a ring?")
+	fmt.Print(exec.Apply(items[0]).Explain())
+
+	// The rulebase is a managed system of record: disable a misfiring rule
+	// and the audit log remembers who did what.
+	_ = rb.Disable(rb.Active()[0].ID, "ana", "demo scale-down")
+	fmt.Printf("\nrulebase: %+v\n", rb.Stats().ByStatus)
+	last := rb.Audit()[len(rb.Audit())-1]
+	fmt.Printf("last audit entry: v%d %s %s by %s\n", last.Version, last.Action, last.RuleID, last.Actor)
+}

@@ -1,0 +1,82 @@
+// Ruledev: the §4 rule-development loop — an analyst refines a rule against
+// an indexed development corpus, getting instant coverage/precision/confusion
+// feedback for every variation; the final candidate is crowd-validated
+// before deployment (§4's crowd-assisted rule creation), and a taxonomy
+// split is migrated with ProposeRetarget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 23, NumTypes: 60})
+	dev := repro.NewDevSession(cat.GenerateBatch(repro.BatchSpec{Size: 6000, Epoch: 0}))
+	fmt.Printf("development corpus: %d labeled items, indexed once\n\n", dev.Size())
+
+	// The analyst's refinement session for a motor-oil rule, from too-broad
+	// to production-ready — each attempt is one indexed query.
+	attempts := []string{
+		"oils?",
+		"(motor | engine) oils?",
+		"(motor | engine | truck | car | motorcycle | boat | atv | suv | van | pickup | vehicle | scooter) (oil | lubricant)s?",
+	}
+	var last *repro.DevReport
+	for i, src := range attempts {
+		rep, err := dev.Try(src, "motor oil")
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = rep
+		fmt.Printf("attempt %d: %s\n", i+1, src)
+		fmt.Printf("  coverage %d, precision %.3f, %v\n", rep.Coverage, rep.Precision, rep.Elapsed.Round(1000))
+		for j, c := range rep.Confusions {
+			if j >= 3 {
+				break
+			}
+			fmt.Printf("  confused with %q ×%d\n", c.Label, c.Count)
+		}
+		fmt.Println()
+	}
+
+	// Crowd validation before deployment (§4: crowdsourcing helps the
+	// analyst create rules).
+	corpus := cat.GenerateBatch(repro.BatchSpec{Size: 4000, Epoch: 0})
+	cr := repro.NewCrowd(repro.CrowdConfig{Seed: 24})
+	est, ok, err := repro.ValidateRule(last.Rule, corpus, cr, repro.NewRand(25), 40, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowd validation: precision %.3f [%.3f, %.3f] on %d samples → deploy: %v (cost %d answers)\n",
+		est.Precision, est.WilsonLo, est.WilsonHi, est.Sampled, ok, cr.Spent())
+
+	// Later, the taxonomy splits "pants" into "work pants" and "jeans":
+	// retarget the orphaned rules instead of rewriting them by hand.
+	rb := repro.NewRulebase()
+	orphan, err := repro.NewWhitelist("(pants? | jeans?)", "pants")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rb.Add(orphan, "ana"); err != nil {
+		log.Fatal(err)
+	}
+	relabeled := repro.NewDataIndex(cat.GenerateBatch(repro.BatchSpec{
+		Size: 3000, Epoch: 0, OnlyTypes: []string{"work pants", "jeans"},
+	}))
+	props := repro.ProposeRetarget(rb.Active(), relabeled, map[string]bool{"pants": true}, 0.2)
+	for _, p := range props {
+		var dist []string
+		for _, lc := range p.Distribution {
+			dist = append(dist, fmt.Sprintf("%s×%d", lc.Label, lc.Count))
+		}
+		fmt.Printf("\ntaxonomy split: rule %q covered %d items (%s)\n",
+			orphan.Source, p.Coverage, strings.Join(dist, ", "))
+		for _, nr := range p.NewRules {
+			fmt.Printf("  proposed: %s\n", nr)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Synonyms: the §5.1 tool — expand the disjunction of a rule pattern with
+// corpus-mined synonyms, with the feedback loop driven by a scripted
+// analyst. Reproduces the motor-oil walkthrough of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	// R3 from the paper: the analyst wants the tool to expand the first
+	// disjunction of (motor | engine) oils?.
+	pat := repro.MustParsePattern(`(motor | engine | \syn) oils?`)
+
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 13, NumTypes: 80})
+	items := cat.GenerateBatch(repro.BatchSpec{Size: 8000, Epoch: 1})
+	titles := make([][]string, len(items))
+	for i, it := range items {
+		titles[i] = it.TitleTokens()
+	}
+
+	tool, err := repro.NewSynonymTool(pat, titles, repro.SynonymOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d golden matches seed the context vectors; %d candidates to rank\n\n",
+		tool.GoldenMatches(), tool.Remaining())
+
+	// The analyst knows a vehicle word when they see one.
+	vehicles := map[string]bool{
+		"truck": true, "car": true, "suv": true, "van": true, "vehicle": true,
+		"motorcycle": true, "pickup": true, "scooter": true, "atv": true,
+		"boat": true, "auto": true, "automotive": true,
+	}
+	iteration := 0
+	for tool.Remaining() > 0 && iteration < 5 {
+		iteration++
+		top := tool.Top(10)
+		if len(top) == 0 {
+			break
+		}
+		fmt.Printf("iteration %d — top candidates:\n", iteration)
+		var accepted, rejected []string
+		for _, c := range top {
+			verdict := "reject"
+			if vehicles[c.Key()] {
+				verdict = "ACCEPT"
+				accepted = append(accepted, c.Key())
+			} else {
+				rejected = append(rejected, c.Key())
+			}
+			fmt.Printf("  %-22s score %.3f matches %d → %s\n", c.Key(), c.Score, c.Matches, verdict)
+		}
+		tool.Feedback(accepted, rejected) // Rocchio re-ranks the rest
+		fmt.Println()
+	}
+
+	var found []string
+	for _, ph := range tool.Accepted() {
+		found = append(found, strings.Join(ph, " "))
+	}
+	fmt.Printf("accepted synonyms: %s\n", strings.Join(found, ", "))
+	fmt.Printf("expanded rule (the paper's R2, grown from R1):\n  %s → motor oil\n",
+		tool.ExpandedPattern().String())
+}

@@ -1,0 +1,575 @@
+package catalog
+
+// This file is the hand-curated seed lexicon: ~50 product types whose
+// vocabulary reproduces the situations the paper describes — the "wedding
+// band is a ring" trap, the satchel/purse/tote handbag synonym sprawl (§3.2),
+// the USB/monitor/motherboard computer-cable subtype zoo, the isbn attribute
+// of books, brand names constrained to a few types (the "Apple" knowledge-base
+// reasoning), and the motor-oil / area-rug / athletic-glove / shorts /
+// abrasive-wheel examples of Table 1. A synthetic tail generated in
+// catalog.go extends the taxonomy to any requested size.
+
+// Term is a vocabulary entry with an optional drift schedule: the term is
+// only used in titles once the batch epoch reaches EmergeEpoch, modelling
+// concept drift ("new types of computer cables keep appearing", §2.2).
+type Term struct {
+	Text         string
+	EmergeEpoch  int
+	VendorQuirks bool // preferentially used by "new vocabulary" vendors
+}
+
+// TypeSpec describes one product type's generative vocabulary.
+type TypeSpec struct {
+	Name      string
+	Segment   string
+	Synthetic bool
+	// HeadTerms are strong type indicators used as the final noun of most
+	// titles ("ring", "rings").
+	HeadTerms []Term
+	// Synonyms are alternative head nouns, often subtype names (satchel,
+	// purse, tote). Some emerge only at later epochs.
+	Synonyms []Term
+	// Modifiers are type-flavoured adjectives and materials.
+	Modifiers []string
+	// Brands that sell this type. Brands may be shared across types.
+	Brands []string
+	// Attrs are type-specific attribute generators: name → kind (see
+	// attrKind in catalog.go).
+	Attrs map[string]string
+	// Traps are phrases that belong to this type even though their tokens
+	// suggest otherwise (e.g. "wedding band" → rings). They replace the head
+	// noun entirely.
+	Traps []string
+	// PHeadless is the probability a title omits every head term and
+	// synonym, leaving only brand/modifier signal — the cases "learning
+	// cannot yet handle" until trained (§3.2). Defaults to 0.12 if zero.
+	PHeadless float64
+}
+
+// vendorQuirkModifiers replace ordinary modifiers in titles from
+// "new vocabulary" vendors — marketing-speak the classifiers have never
+// seen, which is what makes a new vendor's batch degrade accuracy (§2.2).
+var vendorQuirkModifiers = []string{
+	"megachoice", "ultraflex", "primo", "zenith line", "grade aa",
+	"xtra value", "promax", "elite series", "budgetwise", "topnotch",
+	"superlux", "brandnew drop",
+}
+
+// sharedModifiers flavour titles of every type.
+var sharedModifiers = []string{
+	"premium", "classic", "deluxe", "value", "pro", "essential", "heavy duty",
+	"compact", "portable", "vintage", "modern", "eco", "ultra", "signature",
+	"everyday", "new", "improved", "genuine", "assorted", "multi pack",
+}
+
+// seedTypes is the curated head of the taxonomy.
+var seedTypes = []TypeSpec{
+	// --- Jewelry ---------------------------------------------------------
+	{
+		Name: "rings", Segment: "jewelry",
+		HeadTerms: []Term{{Text: "ring"}, {Text: "rings"}},
+		Synonyms: []Term{
+			{Text: "band"}, {Text: "trio set"},
+			{Text: "stackable set", EmergeEpoch: 2},
+		},
+		Modifiers: []string{"diamond", "platinaire", "10kt white gold", "sterling silver", "accent", "semi eternity", "carat", "solitaire", "wedding", "engagement"},
+		Brands:    []string{"forever fine", "aurelia", "gemcraft"},
+		Traps:     []string{"wedding band", "diamond trio set"},
+	},
+	{
+		Name: "necklaces", Segment: "jewelry",
+		HeadTerms: []Term{{Text: "necklace"}, {Text: "necklaces"}},
+		Synonyms:  []Term{{Text: "pendant"}, {Text: "chain"}, {Text: "choker", EmergeEpoch: 1}},
+		Modifiers: []string{"sterling silver", "gold plated", "beaded", "charm", "locket", "cubic zirconia"},
+		Brands:    []string{"aurelia", "gemcraft", "lunette"},
+	},
+	{
+		Name: "earrings", Segment: "jewelry",
+		HeadTerms: []Term{{Text: "earrings"}, {Text: "earring"}},
+		Synonyms:  []Term{{Text: "studs"}, {Text: "hoops"}, {Text: "ear climbers", EmergeEpoch: 3}},
+		Modifiers: []string{"gold hoop", "pearl", "dangle", "crystal", "sterling silver"},
+		Brands:    []string{"aurelia", "lunette"},
+	},
+	{
+		Name: "watches", Segment: "jewelry",
+		HeadTerms: []Term{{Text: "watch"}, {Text: "watches"}},
+		Synonyms:  []Term{{Text: "chronograph"}, {Text: "timepiece"}, {Text: "smartwatch", EmergeEpoch: 2}},
+		Modifiers: []string{"stainless steel", "leather strap", "quartz", "water resistant", "analog"},
+		Brands:    []string{"chronex", "apex", "meridian"},
+	},
+	// --- Home ------------------------------------------------------------
+	{
+		Name: "area rugs", Segment: "home",
+		HeadTerms: []Term{{Text: "area rug"}, {Text: "area rugs"}, {Text: "rug"}, {Text: "rugs"}},
+		Synonyms: []Term{
+			{Text: "oriental rug"}, {Text: "braided rug"}, {Text: "runner"},
+			{Text: "shag rug", EmergeEpoch: 1}, {Text: "tufted rug"},
+		},
+		Modifiers: []string{"shaw", "oriental", "novelty", "braided", "royal", "casual", "ivory", "tufted", "contemporary", "floral", "5x8", "8x10", "wool", "drive"},
+		Brands:    []string{"hearthside", "royal weave", "casa nova"},
+	},
+	{
+		Name: "dining chairs", Segment: "home",
+		HeadTerms: []Term{{Text: "dining chair"}, {Text: "dining chairs"}, {Text: "chair"}},
+		Synonyms:  []Term{{Text: "side chair"}, {Text: "parsons chair"}, {Text: "counter stool", EmergeEpoch: 2}},
+		Modifiers: []string{"upholstered", "solid wood", "set of 2", "espresso", "farmhouse", "mid century"},
+		Brands:    []string{"casa nova", "oakline", "hearthside"},
+	},
+	{
+		Name: "table lamps", Segment: "home",
+		HeadTerms: []Term{{Text: "table lamp"}, {Text: "table lamps"}, {Text: "lamp"}},
+		Synonyms:  []Term{{Text: "desk lamp"}, {Text: "accent lamp"}, {Text: "bedside lamp"}},
+		Modifiers: []string{"brushed nickel", "ceramic", "3 way", "led", "linen shade"},
+		Brands:    []string{"lumina", "hearthside"},
+	},
+	{
+		Name: "curtains", Segment: "home",
+		HeadTerms: []Term{{Text: "curtain"}, {Text: "curtains"}},
+		Synonyms:  []Term{{Text: "drapes"}, {Text: "window panel"}, {Text: "valance"}},
+		Modifiers: []string{"blackout", "sheer", "grommet", "84 inch", "thermal"},
+		Brands:    []string{"casa nova", "windowline"},
+	},
+	{
+		Name: "holiday decorations", Segment: "home",
+		HeadTerms: []Term{{Text: "holiday decoration"}, {Text: "holiday decorations"}, {Text: "ornament"}},
+		Synonyms:  []Term{{Text: "christmas tree"}, {Text: "garland"}, {Text: "wreath"}, {Text: "tree topper"}},
+		Modifiers: []string{"pre lit", "artificial", "6 ft", "glitter", "festive"},
+		Brands:    []string{"northstar", "hearthside"},
+		// The §4 "tail rule" example: the retailer sells only a few
+		// Christmas-tree products; keep this type rare via tail placement.
+	},
+	{
+		Name: "cookware sets", Segment: "home",
+		HeadTerms: []Term{{Text: "cookware set"}, {Text: "cookware sets"}},
+		Synonyms:  []Term{{Text: "pots and pans"}, {Text: "skillet set"}, {Text: "dutch oven", EmergeEpoch: 1}},
+		Modifiers: []string{"nonstick", "10 piece", "stainless steel", "induction ready", "ceramic"},
+		Brands:    []string{"kitchenpro", "chefmate"},
+	},
+	// --- Electronics -----------------------------------------------------
+	{
+		Name: "laptop computers", Segment: "electronics",
+		HeadTerms: []Term{{Text: "laptop"}, {Text: "laptops"}, {Text: "notebook computer"}},
+		Synonyms:  []Term{{Text: "ultrabook"}, {Text: "chromebook", EmergeEpoch: 1}, {Text: "2 in 1", EmergeEpoch: 2}},
+		Modifiers: []string{"15.6 inch", "8gb ram", "256gb ssd", "quad core", "touchscreen", "backlit keyboard"},
+		Brands:    []string{"apex", "nimbus", "vertex"},
+		Attrs:     map[string]string{"Screen Size": "screen", "Processor": "cpu"},
+		PHeadless: 0.2,
+	},
+	{
+		Name: "smart phones", Segment: "electronics",
+		HeadTerms: []Term{{Text: "smartphone"}, {Text: "smart phone"}, {Text: "phone"}},
+		Synonyms:  []Term{{Text: "handset"}, {Text: "phablet", EmergeEpoch: 1}, {Text: "foldable", EmergeEpoch: 3}},
+		Modifiers: []string{"unlocked", "64gb", "dual sim", "5g", "octa core"},
+		Brands:    []string{"apex", "nimbus", "orbit"},
+		Attrs:     map[string]string{"Screen Size": "screen", "Carrier": "carrier"},
+		PHeadless: 0.2,
+	},
+	{
+		Name: "tablets", Segment: "electronics",
+		HeadTerms: []Term{{Text: "tablet"}, {Text: "tablets"}},
+		Synonyms:  []Term{{Text: "e reader"}, {Text: "slate", EmergeEpoch: 2}},
+		Modifiers: []string{"10 inch", "wifi", "32gb", "kids edition"},
+		Brands:    []string{"apex", "orbit"},
+		Attrs:     map[string]string{"Screen Size": "screen"},
+	},
+	{
+		Name: "computer cables", Segment: "electronics",
+		HeadTerms: []Term{{Text: "cable"}, {Text: "cables"}, {Text: "cord"}},
+		Synonyms: []Term{
+			{Text: "usb cable"}, {Text: "networking cord"}, {Text: "motherboard cable"},
+			{Text: "mouse cable"}, {Text: "monitor cable"}, {Text: "hdmi cable"},
+			{Text: "usb c cable", EmergeEpoch: 1}, {Text: "thunderbolt cable", EmergeEpoch: 2},
+			{Text: "fiber patch cord", EmergeEpoch: 3},
+		},
+		Modifiers: []string{"6 ft", "braided", "high speed", "shielded", "gold plated"},
+		Brands:    []string{"linkcore", "vertex"},
+		PHeadless: 0.15,
+	},
+	{
+		Name: "laptop bags & cases", Segment: "electronics",
+		HeadTerms: []Term{{Text: "laptop bag"}, {Text: "laptop case"}, {Text: "laptop sleeve"}},
+		Synonyms:  []Term{{Text: "messenger bag"}, {Text: "notebook sleeve"}, {Text: "tech backpack", EmergeEpoch: 1}},
+		Modifiers: []string{"15.6 inch", "padded", "water resistant", "slim"},
+		Brands:    []string{"urban gear", "vertex"},
+	},
+	{
+		Name: "headphones", Segment: "electronics",
+		HeadTerms: []Term{{Text: "headphones"}, {Text: "headphone"}, {Text: "headset"}},
+		Synonyms:  []Term{{Text: "earbuds"}, {Text: "true wireless earbuds", EmergeEpoch: 2}},
+		Modifiers: []string{"noise cancelling", "over ear", "bluetooth", "wired", "studio"},
+		Brands:    []string{"sonique", "apex", "orbit"},
+	},
+	{
+		Name: "computer monitors", Segment: "electronics",
+		HeadTerms: []Term{{Text: "monitor"}, {Text: "monitors"}},
+		Synonyms:  []Term{{Text: "display"}, {Text: "ultrawide", EmergeEpoch: 2}},
+		Modifiers: []string{"27 inch", "4k", "ips", "144hz", "curved"},
+		Brands:    []string{"vertex", "nimbus"},
+		Attrs:     map[string]string{"Screen Size": "screen"},
+	},
+	{
+		Name: "keyboards", Segment: "electronics",
+		HeadTerms: []Term{{Text: "keyboard"}, {Text: "keyboards"}},
+		Synonyms:  []Term{{Text: "mechanical keyboard"}, {Text: "keypad"}},
+		Modifiers: []string{"wireless", "rgb", "ergonomic", "compact"},
+		Brands:    []string{"linkcore", "vertex"},
+	},
+	{
+		Name: "bluetooth speakers", Segment: "electronics",
+		HeadTerms: []Term{{Text: "speaker"}, {Text: "speakers"}},
+		Synonyms:  []Term{{Text: "soundbar"}, {Text: "boombox"}, {Text: "smart speaker", EmergeEpoch: 1}},
+		Modifiers: []string{"portable", "waterproof", "bluetooth", "20w"},
+		Brands:    []string{"sonique", "orbit"},
+	},
+	// --- Automotive ------------------------------------------------------
+	{
+		Name: "motor oil", Segment: "automotive",
+		HeadTerms: []Term{{Text: "motor oil"}, {Text: "engine oil"}, {Text: "motor oils"}, {Text: "engine oils"}},
+		Synonyms: []Term{
+			{Text: "automotive oil"}, {Text: "auto oil"}, {Text: "car oil"},
+			{Text: "truck oil"}, {Text: "suv oil"}, {Text: "van oil"},
+			{Text: "vehicle oil"}, {Text: "motorcycle oil"}, {Text: "pickup oil"},
+			{Text: "scooter oil", EmergeEpoch: 1}, {Text: "atv oil"},
+			{Text: "boat oil"}, {Text: "engine lubricant"}, {Text: "motor lubricant"},
+		},
+		Modifiers: []string{"synthetic", "5w 30", "10w 40", "high mileage", "5 qt", "full synthetic"},
+		Brands:    []string{"luboil", "torquex", "roadmaster"},
+	},
+	{
+		Name: "wiper blades", Segment: "automotive",
+		HeadTerms: []Term{{Text: "wiper blade"}, {Text: "wiper blades"}},
+		Synonyms:  []Term{{Text: "windshield wiper"}, {Text: "beam blade", EmergeEpoch: 1}},
+		Modifiers: []string{"22 inch", "all season", "rear", "pair"},
+		Brands:    []string{"roadmaster", "clearview"},
+	},
+	{
+		Name: "car batteries", Segment: "automotive",
+		HeadTerms: []Term{{Text: "car battery"}, {Text: "car batteries"}, {Text: "auto battery"}},
+		Synonyms:  []Term{{Text: "agm battery", EmergeEpoch: 1}, {Text: "marine battery"}},
+		Modifiers: []string{"12v", "600 cca", "maintenance free", "group 24"},
+		Brands:    []string{"torquex", "voltedge"},
+	},
+	{
+		Name: "car floor mats", Segment: "automotive",
+		HeadTerms: []Term{{Text: "floor mat"}, {Text: "floor mats"}},
+		Synonyms:  []Term{{Text: "floor liner"}, {Text: "cargo liner"}},
+		Modifiers: []string{"all weather", "rubber", "custom fit", "4 piece"},
+		Brands:    []string{"roadmaster", "armorfit"},
+	},
+	// --- Apparel ---------------------------------------------------------
+	{
+		Name: "jeans", Segment: "apparel",
+		HeadTerms: []Term{{Text: "jeans"}, {Text: "jean"}},
+		Synonyms:  []Term{{Text: "denim pants"}, {Text: "skinny jeans"}, {Text: "carpenter jeans"}, {Text: "jeggings", EmergeEpoch: 2}},
+		Modifiers: []string{"denim", "relaxed fit", "slim fit", "indigo", "bootcut", "38x30", "stretch", "distressed"},
+		Brands:    []string{"dickies", "bluepeak", "ranchhand"},
+	},
+	{
+		Name: "shorts", Segment: "apparel",
+		HeadTerms: []Term{{Text: "shorts"}, {Text: "short"}},
+		Synonyms:  []Term{{Text: "cargo shorts"}, {Text: "board shorts"}, {Text: "bermuda shorts"}},
+		Modifiers: []string{"boys", "denim", "knit", "cotton blend", "elastic", "loose fit", "classic mesh", "cargo", "carpenter", "2 pack"},
+		Brands:    []string{"bluepeak", "playfield"},
+	},
+	{
+		Name: "dresses", Segment: "apparel",
+		HeadTerms: []Term{{Text: "dress"}, {Text: "dresses"}},
+		Synonyms:  []Term{{Text: "sundress"}, {Text: "maxi dress"}, {Text: "shift dress"}, {Text: "wrap dress", EmergeEpoch: 1}},
+		Modifiers: []string{"floral", "sleeveless", "midi", "casual", "pleated"},
+		Brands:    []string{"lunette", "meadowlane"},
+	},
+	{
+		Name: "t-shirts", Segment: "apparel",
+		HeadTerms: []Term{{Text: "t shirt"}, {Text: "t shirts"}, {Text: "tee"}},
+		Synonyms:  []Term{{Text: "graphic tee"}, {Text: "crew neck"}, {Text: "v neck"}},
+		Modifiers: []string{"cotton", "short sleeve", "mens", "womens", "3 pack"},
+		Brands:    []string{"bluepeak", "playfield", "meadowlane"},
+	},
+	{
+		Name: "handbags", Segment: "apparel",
+		HeadTerms: []Term{{Text: "handbag"}, {Text: "handbags"}},
+		Synonyms: []Term{
+			{Text: "satchel"}, {Text: "purse"}, {Text: "tote"},
+			{Text: "crossbody bag"}, {Text: "shoulder bag"},
+			{Text: "hobo bag", EmergeEpoch: 1}, {Text: "clutch"},
+			{Text: "bucket bag", EmergeEpoch: 2},
+		},
+		Modifiers: []string{"faux leather", "quilted", "vegan leather", "woven", "mini"},
+		Brands:    []string{"lunette", "urban gear", "meadowlane"},
+		PHeadless: 0.25, // the paper's "hard to collect a representative sample" type
+	},
+	{
+		Name: "athletic gloves", Segment: "apparel",
+		HeadTerms: []Term{{Text: "athletic glove"}, {Text: "athletic gloves"}},
+		Synonyms: []Term{
+			{Text: "impact gloves"}, {Text: "football gloves"}, {Text: "training gloves"},
+			{Text: "boxing gloves"}, {Text: "golf glove"}, {Text: "workout gloves"},
+			{Text: "batting gloves", EmergeEpoch: 1},
+		},
+		Modifiers: []string{"grip", "padded", "youth", "large", "pair"},
+		Brands:    []string{"playfield", "ironclad"},
+	},
+	{
+		Name: "sneakers", Segment: "apparel",
+		HeadTerms: []Term{{Text: "sneaker"}, {Text: "sneakers"}},
+		Synonyms:  []Term{{Text: "running shoes"}, {Text: "trainers"}, {Text: "slip ons"}},
+		Modifiers: []string{"memory foam", "lightweight", "size 10", "breathable"},
+		Brands:    []string{"playfield", "strideright"},
+	},
+	{
+		Name: "work pants", Segment: "apparel",
+		HeadTerms: []Term{{Text: "work pants"}, {Text: "work pant"}},
+		Synonyms:  []Term{{Text: "utility pants"}, {Text: "cargo pants"}, {Text: "duck canvas pants"}},
+		Modifiers: []string{"double knee", "flex", "relaxed fit", "34x32", "ripstop"},
+		Brands:    []string{"dickies", "ranchhand", "ironclad"},
+	},
+	// --- Tools -----------------------------------------------------------
+	{
+		Name: "abrasive wheels & discs", Segment: "tools",
+		HeadTerms: []Term{{Text: "abrasive wheel"}, {Text: "abrasive wheels"}, {Text: "abrasive disc"}, {Text: "abrasive discs"}},
+		Synonyms: []Term{
+			{Text: "flap disc"}, {Text: "grinding wheel"}, {Text: "fiber disc"},
+			{Text: "sanding disc"}, {Text: "zirconia fiber disc"},
+			{Text: "cutter wheel"}, {Text: "knot wheel"}, {Text: "twisted knot wheel"},
+			{Text: "sander disc"}, {Text: "abrasive grinding wheel"},
+			{Text: "cutoff wheel", EmergeEpoch: 1},
+		},
+		Modifiers: []string{"4 1 2 inch", "120 grit", "60 grit", "type 27", "10 pack"},
+		Brands:    []string{"ironclad", "grindex"},
+	},
+	{
+		Name: "cordless drills", Segment: "tools",
+		HeadTerms: []Term{{Text: "cordless drill"}, {Text: "cordless drills"}, {Text: "drill"}},
+		Synonyms:  []Term{{Text: "drill driver"}, {Text: "impact driver"}, {Text: "hammer drill"}},
+		Modifiers: []string{"20v", "brushless", "with battery", "kit"},
+		Brands:    []string{"ironclad", "grindex", "voltedge"},
+	},
+	{
+		Name: "screwdriver sets", Segment: "tools",
+		HeadTerms: []Term{{Text: "screwdriver set"}, {Text: "screwdriver sets"}, {Text: "screwdriver"}},
+		Synonyms:  []Term{{Text: "bit set"}, {Text: "precision drivers"}},
+		Modifiers: []string{"magnetic", "42 piece", "phillips", "torx"},
+		Brands:    []string{"ironclad", "grindex"},
+	},
+	{
+		Name: "tool boxes", Segment: "tools",
+		HeadTerms: []Term{{Text: "tool box"}, {Text: "tool boxes"}, {Text: "toolbox"}},
+		Synonyms:  []Term{{Text: "tool chest"}, {Text: "organizer case"}, {Text: "rolling tool bag", EmergeEpoch: 1}},
+		Modifiers: []string{"22 inch", "steel", "stackable", "with tray"},
+		Brands:    []string{"ironclad", "armorfit"},
+	},
+	// --- Media -----------------------------------------------------------
+	{
+		Name: "books", Segment: "media",
+		HeadTerms: []Term{{Text: "paperback"}, {Text: "hardcover"}, {Text: "book"}},
+		Synonyms:  []Term{{Text: "novel"}, {Text: "cookbook"}, {Text: "boxed set"}, {Text: "audiobook", EmergeEpoch: 2}},
+		Modifiers: []string{"bestselling", "illustrated", "first edition", "large print"},
+		Brands:    []string{"inkwell press", "meridian"},
+		Attrs:     map[string]string{"isbn": "isbn", "Number of Pages": "pages"},
+		PHeadless: 0.35, // titles are book titles; the isbn attribute is the signal
+	},
+	{
+		Name: "dvds", Segment: "media",
+		HeadTerms: []Term{{Text: "dvd"}, {Text: "dvds"}},
+		Synonyms:  []Term{{Text: "blu ray"}, {Text: "box set"}, {Text: "4k ultra hd", EmergeEpoch: 1}},
+		Modifiers: []string{"widescreen", "special edition", "season 1"},
+		Brands:    []string{"screenhouse"},
+		Attrs:     map[string]string{"Rating": "rating", "Runtime": "runtime"},
+	},
+	{
+		Name: "video games", Segment: "media",
+		HeadTerms: []Term{{Text: "video game"}, {Text: "video games"}},
+		Synonyms:  []Term{{Text: "game cartridge"}, {Text: "collectors edition"}, {Text: "digital code", EmergeEpoch: 2}},
+		Modifiers: []string{"rated e", "multiplayer", "open world"},
+		Brands:    []string{"pixelforge", "screenhouse"},
+		Attrs:     map[string]string{"Platform": "platform", "Rating": "rating"},
+		PHeadless: 0.3,
+	},
+	// --- Grocery ---------------------------------------------------------
+	{
+		Name: "ground coffee", Segment: "grocery",
+		HeadTerms: []Term{{Text: "ground coffee"}, {Text: "coffee"}},
+		Synonyms:  []Term{{Text: "coffee beans"}, {Text: "espresso roast"}, {Text: "cold brew packs", EmergeEpoch: 1}},
+		Modifiers: []string{"medium roast", "dark roast", "12 oz", "arabica", "decaf"},
+		Brands:    []string{"morningpeak", "roastery co"},
+	},
+	{
+		Name: "olive oil", Segment: "grocery",
+		HeadTerms: []Term{{Text: "olive oil"}, {Text: "olive oils"}},
+		Synonyms:  []Term{{Text: "extra virgin olive oil"}, {Text: "evoo", EmergeEpoch: 1}},
+		Modifiers: []string{"extra virgin", "cold pressed", "500 ml", "imported"},
+		Brands:    []string{"oliveto", "pantry gold"},
+		// Deliberate confusion with motor oil: both are "* oil".
+	},
+	{
+		Name: "breakfast cereal", Segment: "grocery",
+		HeadTerms: []Term{{Text: "cereal"}, {Text: "cereals"}},
+		Synonyms:  []Term{{Text: "granola"}, {Text: "muesli"}, {Text: "overnight oats", EmergeEpoch: 2}},
+		Modifiers: []string{"whole grain", "honey", "family size", "gluten free"},
+		Brands:    []string{"morningpeak", "pantry gold"},
+	},
+	{
+		Name: "snack bars", Segment: "grocery",
+		HeadTerms: []Term{{Text: "snack bar"}, {Text: "snack bars"}},
+		Synonyms:  []Term{{Text: "granola bars"}, {Text: "protein bars"}, {Text: "energy bites", EmergeEpoch: 1}},
+		Modifiers: []string{"chocolate chip", "peanut butter", "12 count", "chewy"},
+		Brands:    []string{"pantry gold", "trailfuel"},
+	},
+	// --- Sports ----------------------------------------------------------
+	{
+		Name: "basketballs", Segment: "sports",
+		HeadTerms: []Term{{Text: "basketball"}, {Text: "basketballs"}},
+		Synonyms:  []Term{{Text: "indoor ball"}, {Text: "outdoor ball"}},
+		Modifiers: []string{"official size", "composite leather", "size 7"},
+		Brands:    []string{"playfield", "courtking"},
+	},
+	{
+		Name: "yoga mats", Segment: "sports",
+		HeadTerms: []Term{{Text: "yoga mat"}, {Text: "yoga mats"}},
+		Synonyms:  []Term{{Text: "exercise mat"}, {Text: "fitness mat"}, {Text: "travel mat", EmergeEpoch: 1}},
+		Modifiers: []string{"non slip", "6mm", "extra thick", "with strap"},
+		Brands:    []string{"zenflow", "playfield"},
+	},
+	{
+		Name: "camping tents", Segment: "sports",
+		HeadTerms: []Term{{Text: "tent"}, {Text: "tents"}},
+		Synonyms:  []Term{{Text: "dome tent"}, {Text: "backpacking tent"}, {Text: "instant cabin", EmergeEpoch: 1}},
+		Modifiers: []string{"4 person", "waterproof", "easy setup", "3 season"},
+		Brands:    []string{"trailfuel", "summitline"},
+	},
+	{
+		Name: "fishing rods", Segment: "sports",
+		HeadTerms: []Term{{Text: "fishing rod"}, {Text: "fishing rods"}},
+		Synonyms:  []Term{{Text: "spinning combo"}, {Text: "casting rod"}, {Text: "telescopic rod", EmergeEpoch: 2}},
+		Modifiers: []string{"6 ft 6", "medium action", "graphite", "with reel"},
+		Brands:    []string{"summitline", "lakecaster"},
+	},
+	// --- Baby ------------------------------------------------------------
+	{
+		Name: "diapers", Segment: "baby",
+		HeadTerms: []Term{{Text: "diapers"}, {Text: "diaper"}},
+		Synonyms:  []Term{{Text: "training pants"}, {Text: "overnight pants"}, {Text: "cloth nappies", EmergeEpoch: 2}},
+		Modifiers: []string{"size 4", "hypoallergenic", "144 count", "sensitive"},
+		Brands:    []string{"littlesteps", "cuddlecare"},
+	},
+	{
+		Name: "strollers", Segment: "baby",
+		HeadTerms: []Term{{Text: "stroller"}, {Text: "strollers"}},
+		Synonyms:  []Term{{Text: "travel system"}, {Text: "jogging stroller"}, {Text: "umbrella stroller"}},
+		Modifiers: []string{"lightweight", "reclining", "with car seat", "all terrain"},
+		Brands:    []string{"littlesteps", "strideright"},
+	},
+	{
+		Name: "baby bottles", Segment: "baby",
+		HeadTerms: []Term{{Text: "baby bottle"}, {Text: "baby bottles"}},
+		Synonyms:  []Term{{Text: "feeding bottle"}, {Text: "sippy cup"}, {Text: "anti colic bottle", EmergeEpoch: 1}},
+		Modifiers: []string{"9 oz", "bpa free", "3 pack", "slow flow"},
+		Brands:    []string{"cuddlecare", "littlesteps"},
+	},
+	// --- Office ----------------------------------------------------------
+	{
+		Name: "ballpoint pens", Segment: "office",
+		HeadTerms: []Term{{Text: "ballpoint pen"}, {Text: "ballpoint pens"}, {Text: "pens"}},
+		Synonyms:  []Term{{Text: "gel pens"}, {Text: "rollerball"}, {Text: "fountain pen"}},
+		Modifiers: []string{"black ink", "medium point", "12 count", "retractable"},
+		Brands:    []string{"inkwell press", "deskmate"},
+	},
+	{
+		Name: "notebooks", Segment: "office",
+		HeadTerms: []Term{{Text: "notebook"}, {Text: "notebooks"}},
+		Synonyms:  []Term{{Text: "composition book"}, {Text: "legal pads"}, {Text: "bullet journal", EmergeEpoch: 1}},
+		Modifiers: []string{"college ruled", "spiral", "100 sheets", "5 pack"},
+		Brands:    []string{"deskmate", "inkwell press"},
+		// Confusable with "laptop computers" via the bare token "notebook".
+	},
+	{
+		Name: "printer paper", Segment: "office",
+		HeadTerms: []Term{{Text: "printer paper"}, {Text: "copy paper"}},
+		Synonyms:  []Term{{Text: "multipurpose paper"}, {Text: "cardstock"}},
+		Modifiers: []string{"8.5 x 11", "500 sheets", "bright white", "ream"},
+		Brands:    []string{"deskmate", "paperworks"},
+	},
+	// --- Pet -------------------------------------------------------------
+	{
+		Name: "dog food", Segment: "pet",
+		HeadTerms: []Term{{Text: "dog food"}, {Text: "dog foods"}},
+		Synonyms:  []Term{{Text: "kibble"}, {Text: "puppy chow"}, {Text: "grain free formula", EmergeEpoch: 1}},
+		Modifiers: []string{"chicken and rice", "30 lb", "adult", "small breed"},
+		Brands:    []string{"pawsome", "tailwagger"},
+	},
+	{
+		Name: "cat litter", Segment: "pet",
+		HeadTerms: []Term{{Text: "cat litter"}, {Text: "kitty litter"}},
+		Synonyms:  []Term{{Text: "clumping litter"}, {Text: "crystal litter", EmergeEpoch: 1}},
+		Modifiers: []string{"unscented", "25 lb", "multi cat", "low dust"},
+		Brands:    []string{"pawsome", "freshden"},
+	},
+	// --- Garden ----------------------------------------------------------
+	{
+		Name: "garden hoses", Segment: "garden",
+		HeadTerms: []Term{{Text: "garden hose"}, {Text: "garden hoses"}},
+		Synonyms:  []Term{{Text: "expandable hose"}, {Text: "soaker hose"}},
+		Modifiers: []string{"50 ft", "kink free", "heavy duty", "with nozzle"},
+		Brands:    []string{"greensprout", "armorfit"},
+	},
+	{
+		Name: "lawn mowers", Segment: "garden",
+		HeadTerms: []Term{{Text: "lawn mower"}, {Text: "lawn mowers"}},
+		Synonyms:  []Term{{Text: "push mower"}, {Text: "riding mower"}, {Text: "robot mower", EmergeEpoch: 3}},
+		Modifiers: []string{"21 inch", "self propelled", "gas powered", "electric start"},
+		Brands:    []string{"greensprout", "torquex"},
+	},
+	// --- Health ----------------------------------------------------------
+	{
+		Name: "shampoo", Segment: "health",
+		HeadTerms: []Term{{Text: "shampoo"}, {Text: "shampoos"}},
+		Synonyms:  []Term{{Text: "2 in 1 wash"}, {Text: "dry shampoo", EmergeEpoch: 1}},
+		Modifiers: []string{"moisturizing", "anti dandruff", "sulfate free", "24 oz"},
+		Brands:    []string{"purecare", "silkroot"},
+	},
+	{
+		Name: "toothpaste", Segment: "health",
+		HeadTerms: []Term{{Text: "toothpaste"}, {Text: "tooth paste"}},
+		Synonyms:  []Term{{Text: "whitening gel"}, {Text: "charcoal paste", EmergeEpoch: 2}},
+		Modifiers: []string{"fluoride", "mint", "4 oz", "2 pack"},
+		Brands:    []string{"purecare", "brightsmile"},
+	},
+	{
+		Name: "vitamins", Segment: "health",
+		HeadTerms: []Term{{Text: "vitamins"}, {Text: "vitamin"}},
+		Synonyms:  []Term{{Text: "multivitamin"}, {Text: "gummies"}, {Text: "supplement"}},
+		Modifiers: []string{"daily", "immune support", "90 count", "extra strength"},
+		Brands:    []string{"purecare", "vitalworks"},
+		// "medicine"-adjacent: the business-requirement experiments route
+		// this type to manual review (§3.2 "absolute certainty").
+	},
+}
+
+// syntheticNouns and syntheticMaterials build the long tail of types beyond
+// the curated seed: "<material> <noun>s" (e.g. "ceramic vases").
+var syntheticNouns = []string{
+	"vase", "basket", "candle", "pillow", "blanket", "mirror", "clock",
+	"frame", "shelf", "bin", "tray", "bowl", "mug", "kettle", "toaster",
+	"blender", "fan", "heater", "humidifier", "scale", "tripod", "easel",
+	"stapler", "binder", "marker", "crayon", "puzzle", "kite", "whistle",
+	"lantern", "hammock", "cooler", "thermos", "backpack", "wallet", "belt",
+	"scarf", "beanie", "sandal", "slipper", "apron", "towel", "rake",
+	"shovel", "trowel", "planter", "sprinkler", "feeder", "leash", "collar",
+	"harness", "perch", "aquarium", "terrarium", "helmet", "knee pad",
+	"racket", "paddle", "dumbbell", "kettlebell", "jump rope", "dartboard",
+}
+
+var syntheticMaterials = []string{
+	"ceramic", "bamboo", "woven", "stainless", "copper", "walnut", "acrylic",
+	"canvas", "wool", "marble", "rattan", "cast iron", "silicone", "oak",
+	"velvet", "linen", "granite", "carbon", "mesh", "quilted",
+}
+
+var syntheticSegments = []string{
+	"home", "garden", "sports", "office", "pet", "apparel", "tools", "health",
+}
+
+var syntheticBrandPool = []string{
+	"northbay", "eastwick", "truecraft", "homestead", "brightline", "cozynest",
+	"sturdyco", "fieldstone", "clearbrook", "maplecrest", "silverfox", "owlworks",
+}

@@ -1,0 +1,386 @@
+// Package chimera reproduces the paper's Figure-2 architecture: the
+// WalmartLabs product-classification system that combines a Gate Keeper,
+// a rule-based classifier (whitelist + blacklist), an attribute/value-based
+// classifier, a set of learning-based classifiers, a Voting Master and a
+// Filter — followed by the crowd-evaluation / analyst-repair loop that keeps
+// precision at or above the business gate (92%) while recall improves over
+// time.
+package chimera
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/evaluate"
+	"repro/internal/learn"
+	"repro/internal/randx"
+)
+
+// Config parameterizes the pipeline. Zero values take the paper's settings.
+type Config struct {
+	Seed uint64
+	// PrecisionGate is the business requirement (paper: 0.92).
+	PrecisionGate float64
+	// RuleWeight is the vote weight of a rule assertion relative to the
+	// full ensemble mass (default 2.0: rules out-vote learners).
+	RuleWeight float64
+	// VoteThreshold is the minimum combined top score to emit a prediction
+	// (default 0.5 — an unassisted ensemble must be reasonably confident).
+	VoteThreshold float64
+	// SampleSize is the crowd sample drawn per batch evaluation (default 150).
+	SampleSize int
+	// Workers parallelizes batch classification (default 4).
+	Workers int
+	// MinPatternSupport is how many same-type flagged errors the analyst
+	// needs before writing a patch blacklist rule (default 3).
+	MinPatternSupport int
+	// ImpactThreshold feeds the §5.3 impactful-rule tracker (default 200).
+	ImpactThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PrecisionGate == 0 {
+		c.PrecisionGate = 0.92
+	}
+	if c.RuleWeight == 0 {
+		c.RuleWeight = 2.0
+	}
+	if c.VoteThreshold == 0 {
+		c.VoteThreshold = 0.5
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 150
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.MinPatternSupport == 0 {
+		c.MinPatternSupport = 3
+	}
+	if c.ImpactThreshold == 0 {
+		c.ImpactThreshold = 200
+	}
+	return c
+}
+
+// Decision is the pipeline's output for one item.
+type Decision struct {
+	Item *catalog.Item
+	// Type is the predicted product type; empty when Declined.
+	Type string
+	// Declined marks items routed to the manual classification team.
+	Declined bool
+	// Reason explains a decline ("low-confidence", "filtered:<type>", …)
+	// or names the deciding stage for a classification ("gatekeeper",
+	// "rules", "ensemble", "combined").
+	Reason string
+	// Confidence is the combined normalized score in [0,1].
+	Confidence float64
+	// Evidence lists the rule IDs that supported the prediction.
+	Evidence []string
+}
+
+// BatchResult aggregates a processed batch.
+type BatchResult struct {
+	Decisions []Decision
+	// EstPrecision is filled by EvaluateAndImprove.
+	EstPrecision float64
+	// Accepted is set when the batch passed the precision gate.
+	Accepted bool
+}
+
+// Classified returns the emitted decisions.
+func (b *BatchResult) Classified() []Decision {
+	var out []Decision
+	for _, d := range b.Decisions {
+		if !d.Declined {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DeclineRate returns the fraction of declined items.
+func (b *BatchResult) DeclineRate() float64 {
+	if len(b.Decisions) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range b.Decisions {
+		if d.Declined {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.Decisions))
+}
+
+// TruePrecisionRecall computes precision/recall against ground truth —
+// available only in simulation; production uses crowd estimates.
+func (b *BatchResult) TruePrecisionRecall() (precision, recall float64) {
+	emitted, correct := 0, 0
+	for _, d := range b.Decisions {
+		if d.Declined {
+			continue
+		}
+		emitted++
+		if d.Type == d.Item.TrueType {
+			correct++
+		}
+	}
+	if emitted > 0 {
+		precision = float64(correct) / float64(emitted)
+	}
+	if len(b.Decisions) > 0 {
+		recall = float64(correct) / float64(len(b.Decisions))
+	}
+	return precision, recall
+}
+
+// Pipeline is the running system.
+type Pipeline struct {
+	cfg      Config
+	rng      *randx.Rand
+	Rules    *core.Rulebase
+	Ensemble *learn.Ensemble
+	Crowd    *crowd.Crowd
+	Analyst  *crowd.Analyst
+	Tracker  *evaluate.ImpactTracker
+
+	mu       sync.Mutex
+	training []*catalog.Item
+	gateExec core.Executor
+	ruleExec core.Executor
+	execVer  uint64
+	history  []float64 // per-batch estimated precision
+	manualQ  int       // items routed to manual classification
+}
+
+// New assembles a pipeline with the standard ensemble (Naive Bayes, kNN,
+// averaged perceptron) and fresh crowd/analyst simulators.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed).Split("chimera")
+	ens, err := learn.NewEnsemble([]learn.Classifier{
+		learn.NewNaiveBayes(), learn.NewKNN(5), learn.NewPerceptron(3),
+	}, nil)
+	if err != nil {
+		panic("chimera: ensemble construction cannot fail: " + err.Error())
+	}
+	return &Pipeline{
+		cfg:      cfg,
+		rng:      rng,
+		Rules:    core.NewRulebase(),
+		Ensemble: ens,
+		Crowd:    crowd.New(crowd.Config{Seed: cfg.Seed + 1}),
+		Analyst:  crowd.NewAnalyst("ana", cfg.Seed+2, 0),
+		Tracker:  evaluate.NewImpactTracker(cfg.ImpactThreshold),
+	}
+}
+
+// Train sets (or extends) the training data and trains the ensemble.
+func (p *Pipeline) Train(items []*catalog.Item) {
+	p.mu.Lock()
+	p.training = append(p.training, items...)
+	data := p.training
+	p.mu.Unlock()
+	p.Ensemble.Train(data)
+}
+
+// TrainingSize returns the current training-set size.
+func (p *Pipeline) TrainingSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.training)
+}
+
+// ManualQueue returns how many items have been routed to manual
+// classification so far.
+func (p *Pipeline) ManualQueue() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.manualQ
+}
+
+// refreshExecutors rebuilds the rule executors when the rulebase changed.
+func (p *Pipeline) refreshExecutors() (gate, rules core.Executor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v := p.Rules.Version(); p.gateExec == nil || v != p.execVer {
+		p.gateExec = core.NewIndexedExecutor(p.Rules.Active(core.Gate))
+		p.ruleExec = core.NewIndexedExecutor(p.Rules.Active(
+			core.Whitelist, core.Blacklist, core.AttrExists, core.AttrValue,
+			core.TypeRestrict))
+		p.execVer = v
+	}
+	return p.gateExec, p.ruleExec
+}
+
+// activeFilters returns the set of types killed by active Filter rules.
+func (p *Pipeline) activeFilters() map[string]string {
+	out := map[string]string{}
+	for _, r := range p.Rules.Active(core.Filter) {
+		out[r.TargetType] = r.ID
+	}
+	return out
+}
+
+// Classify runs one item through the Figure-2 stages.
+func (p *Pipeline) Classify(it *catalog.Item) Decision {
+	gateExec, ruleExec := p.refreshExecutors()
+	filters := p.activeFilters()
+	return p.classifyWith(it, gateExec, ruleExec, filters)
+}
+
+func (p *Pipeline) classifyWith(it *catalog.Item, gateExec, ruleExec core.Executor, filters map[string]string) Decision {
+	// Stage 1: Gate Keeper.
+	if gv := gateExec.Apply(it); len(gv.FinalTypes()) > 0 {
+		t := gv.FinalTypes()[0]
+		if fid, killed := filters[t]; killed {
+			return Decision{Item: it, Declined: true, Reason: "filtered:" + t + " by " + fid}
+		}
+		return Decision{Item: it, Type: t, Reason: "gatekeeper", Confidence: 1, Evidence: ruleIDs(gv.Evidence(t))}
+	}
+
+	// Stage 2: classifiers.
+	rv := ruleExec.Apply(it)
+	ruleTypes := rv.FinalTypes()
+	ensPreds := p.Ensemble.Predict(it)
+
+	// Stage 3: Voting Master.
+	votes := map[string]float64{}
+	for _, t := range ruleTypes {
+		votes[t] += p.cfg.RuleWeight
+	}
+	for _, pr := range ensPreds {
+		// Blacklist vetoes and attribute constraints bind the learners too.
+		if len(rv.Vetoed[pr.Type]) > 0 {
+			continue
+		}
+		if rv.Allowed != nil && !rv.Allowed[pr.Type] {
+			continue
+		}
+		votes[pr.Type] += pr.Score
+	}
+	if len(votes) == 0 {
+		return p.decline(it, "no-votes")
+	}
+	type tv struct {
+		t string
+		v float64
+	}
+	ranked := make([]tv, 0, len(votes))
+	for t, v := range votes {
+		ranked = append(ranked, tv{t, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].v != ranked[j].v {
+			return ranked[i].v > ranked[j].v
+		}
+		return ranked[i].t < ranked[j].t
+	})
+	best := ranked[0]
+	if len(ranked) > 1 && ranked[1].v == best.v {
+		return p.decline(it, "ambiguous")
+	}
+	if best.v < p.cfg.VoteThreshold {
+		return p.decline(it, "low-confidence")
+	}
+
+	// Stage 4: Filter.
+	if fid, killed := filters[best.t]; killed {
+		return Decision{Item: it, Declined: true, Reason: "filtered:" + best.t + " by " + fid}
+	}
+
+	conf := best.v / (p.cfg.RuleWeight + 1)
+	if conf > 1 {
+		conf = 1
+	}
+	source := "ensemble"
+	var evidence []string
+	for _, t := range ruleTypes {
+		if t == best.t {
+			source = "rules"
+			evidence = ruleIDs(rv.Asserted[best.t])
+			if len(ensPreds) > 0 && ensPreds[0].Type == best.t {
+				source = "combined"
+			}
+		}
+	}
+	return Decision{Item: it, Type: best.t, Reason: source, Confidence: conf, Evidence: evidence}
+}
+
+func (p *Pipeline) decline(it *catalog.Item, reason string) Decision {
+	return Decision{Item: it, Declined: true, Reason: reason}
+}
+
+func ruleIDs(rules []*core.Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProcessBatch classifies a batch in parallel and updates the impact
+// tracker and manual-queue accounting.
+func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
+	gateExec, ruleExec := p.refreshExecutors()
+	filters := p.activeFilters()
+	res := &BatchResult{Decisions: make([]Decision, len(items))}
+
+	workers := p.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				res.Decisions[i] = p.classifyWith(items[i], gateExec, ruleExec, filters)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Impact tracking and manual-queue accounting.
+	declined := 0
+	touches := map[string]int{}
+	for _, d := range res.Decisions {
+		if d.Declined {
+			declined++
+			continue
+		}
+		for _, id := range d.Evidence {
+			touches[id]++
+		}
+	}
+	p.mu.Lock()
+	p.manualQ += declined
+	p.mu.Unlock()
+	for id, n := range touches {
+		p.Tracker.Observe(id, n)
+	}
+	return res
+}
+
+// PrecisionHistory returns the per-batch estimated precisions so far.
+func (p *Pipeline) PrecisionHistory() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]float64(nil), p.history...)
+}

@@ -1,0 +1,482 @@
+package chimera
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// fixture builds a catalog, a trained pipeline with a starter rulebase, and
+// a test batch.
+func fixture(t *testing.T, seed uint64) (*catalog.Catalog, *Pipeline) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: seed, NumTypes: 40})
+	p := New(Config{Seed: seed})
+	p.Train(cat.LabeledData(4000))
+
+	add := func(r *core.Rule, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Rules.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(core.NewWhitelist("rings?", "rings"))
+	add(core.NewWhitelist("(wedding | diamond) band", "rings"))
+	add(core.NewWhitelist("jeans?", "jeans"))
+	add(core.NewWhitelist("(area | oriental | braided | shag | tufted) rugs?", "area rugs"))
+	add(core.NewWhitelist("(motor | engine) oils?", "motor oil"))
+	add(core.NewBlacklist("olive oils?", "motor oil"))
+	add(core.NewAttrExists("isbn", "books"))
+	add(core.NewGate("(satchel | purse | tote)", "handbags"))
+	return cat, p
+}
+
+func TestClassifyGateKeeper(t *testing.T) {
+	_, p := fixture(t, 71)
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{"Title": "quilted leather satchel mini"}})
+	if d.Declined || d.Type != "handbags" || d.Reason != "gatekeeper" {
+		t.Fatalf("gate keeper should classify immediately: %+v", d)
+	}
+	if d.Confidence != 1 {
+		t.Fatalf("gate decisions are certain: %v", d.Confidence)
+	}
+}
+
+func TestClassifyRulesBeatLearners(t *testing.T) {
+	_, p := fixture(t, 72)
+	// "wedding band" has no 'ring' token; the rule should still classify it.
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{"Title": "platinaire wedding band size 7"}})
+	if d.Declined || d.Type != "rings" {
+		t.Fatalf("trap title should be caught by rule: %+v", d)
+	}
+	if len(d.Evidence) == 0 {
+		t.Fatal("rule-backed decision should carry evidence")
+	}
+}
+
+func TestClassifyBlacklistVeto(t *testing.T) {
+	_, p := fixture(t, 73)
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{"Title": "oliveto extra virgin olive oil 500 ml"}})
+	if !d.Declined && d.Type == "motor oil" {
+		t.Fatalf("blacklist should veto motor oil: %+v", d)
+	}
+}
+
+func TestClassifyAttrRule(t *testing.T) {
+	_, p := fixture(t, 74)
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{
+		"Title": "The Quiet Meadow large print",
+		"isbn":  "9781111111111",
+	}})
+	if d.Declined || d.Type != "books" {
+		t.Fatalf("isbn attr rule should classify books: %+v", d)
+	}
+}
+
+func TestClassifyDeclinesUnknown(t *testing.T) {
+	_, p := fixture(t, 75)
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{"Title": "zzkqv wfrbb pltnn"}})
+	if !d.Declined {
+		t.Fatalf("gibberish should be declined: %+v", d)
+	}
+}
+
+func TestProcessBatchMeetsGateWithRules(t *testing.T) {
+	cat, p := fixture(t, 76)
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 2000, Epoch: 0})
+	res := p.ProcessBatch(batch)
+	if len(res.Decisions) != len(batch) {
+		t.Fatal("missing decisions")
+	}
+	prec, rec := res.TruePrecisionRecall()
+	if prec < 0.85 {
+		t.Fatalf("true precision too low: %v", prec)
+	}
+	if rec < 0.4 {
+		t.Fatalf("recall too low: %v", rec)
+	}
+	if res.DeclineRate() == 0 {
+		t.Fatal("some items should be declined (tail types, gibberish)")
+	}
+	if p.ManualQueue() == 0 {
+		t.Fatal("declined items should hit the manual queue")
+	}
+}
+
+func TestEvaluateAndImproveLoop(t *testing.T) {
+	cat, p := fixture(t, 77)
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 1500, Epoch: 0})
+	res := p.ProcessBatch(batch)
+	rep, err := p.EvaluateAndImprove(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SampleSize == 0 {
+		t.Fatal("no sample evaluated")
+	}
+	if rep.EstPrecision <= 0 || rep.EstPrecision > 1 {
+		t.Fatalf("implausible precision estimate %v", rep.EstPrecision)
+	}
+	if res.EstPrecision != rep.EstPrecision {
+		t.Fatal("batch result not annotated")
+	}
+	if len(p.PrecisionHistory()) != 1 {
+		t.Fatal("history not recorded")
+	}
+	// Crowd-estimated precision should be within a few points of truth.
+	truth, _ := res.TruePrecisionRecall()
+	if diff := rep.EstPrecision - truth; diff > 0.12 || diff < -0.12 {
+		t.Fatalf("estimate %v too far from truth %v", rep.EstPrecision, truth)
+	}
+}
+
+func TestAnalystPatchImprovesPrecisionOnErrorPattern(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 78, NumTypes: 40})
+	p := New(Config{Seed: 78, MinPatternSupport: 3, SampleSize: 400})
+	p.Train(cat.LabeledData(3000))
+	// A deliberately bad analyst rule: "oil" → motor oil misfires on olive
+	// oil titles.
+	bad, err := core.NewWhitelist("oils?", "motor oil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(bad, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 1200, Epoch: 0, OnlyTypes: []string{"motor oil", "olive oil"}})
+	res := p.ProcessBatch(batch)
+	precBefore, _ := res.TruePrecisionRecall()
+	rep, err := p.EvaluateAndImprove(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.NewRuleIDs) == 0 {
+		t.Fatalf("analyst should have written a patch rule (flagged=%d)", rep.Flagged)
+	}
+	// The patch should mention a grocery token and target motor oil.
+	patch := p.Rules.Get(rep.NewRuleIDs[0])
+	if patch.Kind != core.Blacklist || patch.TargetType != "motor oil" {
+		t.Fatalf("unexpected patch rule: %s", patch)
+	}
+	res2 := p.ProcessBatch(batch)
+	precAfter, _ := res2.TruePrecisionRecall()
+	if precAfter <= precBefore {
+		t.Fatalf("patch did not help: %v → %v", precBefore, precAfter)
+	}
+}
+
+func TestScaleDownAndRestore(t *testing.T) {
+	cat, p := fixture(t, 79)
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 600, Epoch: 0, OnlyTypes: []string{"rings"}})
+
+	before := p.ProcessBatch(batch)
+	classifiedBefore := len(before.Classified())
+	if classifiedBefore == 0 {
+		t.Fatal("precondition: rings should classify")
+	}
+
+	tok, err := p.ScaleDownType("rings", "ana", "rings degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := p.ProcessBatch(batch)
+	for _, d := range during.Classified() {
+		if d.Type == "rings" {
+			t.Fatalf("scaled-down type still predicted: %+v", d)
+		}
+	}
+	if during.DeclineRate() <= before.DeclineRate() {
+		t.Fatal("scale-down should route items to manual")
+	}
+	// Filter reasons must name the filter rule.
+	foundFiltered := false
+	for _, d := range during.Decisions {
+		if d.Declined && strings.HasPrefix(d.Reason, "filtered:rings") {
+			foundFiltered = true
+		}
+	}
+	if !foundFiltered {
+		t.Fatal("no filtered decline reasons recorded")
+	}
+
+	if err := p.Restore(tok, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	after := p.ProcessBatch(batch)
+	if len(after.Classified()) < classifiedBefore*9/10 {
+		t.Fatalf("restore incomplete: %d vs %d", len(after.Classified()), classifiedBefore)
+	}
+}
+
+func TestRestoreNilToken(t *testing.T) {
+	_, p := fixture(t, 80)
+	if err := p.Restore(nil, "dev"); err == nil {
+		t.Fatal("nil token should error")
+	}
+}
+
+func TestDegradedTypes(t *testing.T) {
+	flagged := []Decision{
+		{Type: "rings"}, {Type: "rings"}, {Type: "rings"},
+		{Type: "jeans"},
+	}
+	got := DegradedTypes(flagged, 3)
+	if len(got) != 1 || got[0] != "rings" {
+		t.Fatalf("degraded = %v", got)
+	}
+}
+
+func TestImpactTrackerFedByBatches(t *testing.T) {
+	cat, p := fixture(t, 81)
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 2500, Epoch: 0})
+	p.ProcessBatch(batch)
+	// Some rule should have accumulated touches.
+	total := 0
+	for _, r := range p.Rules.Active() {
+		total += p.Tracker.Touches(r.ID)
+	}
+	if total == 0 {
+		t.Fatal("impact tracker saw no touches")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, p := fixture(t, 82)
+	s := p.Describe()
+	if !strings.Contains(s, "rules=8") || !strings.Contains(s, "training=") {
+		t.Fatalf("describe output: %s", s)
+	}
+}
+
+func TestFlaggedFromAndTruth(t *testing.T) {
+	it := &catalog.Item{ID: "1", TrueType: "rings", Attrs: map[string]string{"Title": "x"}}
+	res := &BatchResult{Decisions: []Decision{
+		{Item: it, Type: "rings"},
+		{Item: it, Type: "jeans"},
+		{Item: it, Declined: true},
+	}}
+	flagged := FlaggedFrom(res, WrongAgainstGroundTruth)
+	if len(flagged) != 1 || flagged[0].Type != "jeans" {
+		t.Fatalf("flagged = %v", flagged)
+	}
+}
+
+func TestPipelineBitwiseDeterminism(t *testing.T) {
+	// Regression for the nondeterminism chain fixed across catalog (attr
+	// generation order), learn (feature order, kNN/Dot accumulation order):
+	// two identically-seeded pipelines must produce byte-identical decision
+	// streams, including confidences.
+	run := func() []Decision {
+		cat := catalog.New(catalog.Config{Seed: 83, NumTypes: 60, ZipfS: 1.3})
+		p := New(Config{Seed: 83, SampleSize: 300})
+		p.Train(cat.LabeledData(700))
+		r, _ := core.NewWhitelist("rings?", "rings")
+		_, _ = p.Rules.Add(r, "ana")
+		batch := cat.GenerateBatch(catalog.BatchSpec{Size: 800, Epoch: 2})
+		return p.ProcessBatch(batch).Decisions
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Declined != b[i].Declined ||
+			a[i].Confidence != b[i].Confidence || a[i].Reason != b[i].Reason {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTypeRestrictAndGuardsInPipeline(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 84, NumTypes: 40})
+	p := New(Config{Seed: 84})
+	p.Train(cat.LabeledData(2000))
+
+	// Dictionary constraint: computer-ish words → computer types only.
+	tr, err := core.NewTypeRestrict("(ssd | motherboard | 8gb)", []string{"laptop computers", "computer monitors", "tablets"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(tr, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := core.NewWhitelist("books?", "books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(wl, "ana"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A title with both a book-ish word and dictionary evidence: the
+	// constraint suppresses the book assertion.
+	d := p.Classify(&catalog.Item{ID: "x", Attrs: map[string]string{
+		"Title": "programming book bundle with 8gb ssd drive",
+	}})
+	if !d.Declined && d.Type == "books" {
+		t.Fatalf("type-restrict should block the books assertion: %+v", d)
+	}
+
+	// Guarded blacklist inside the pipeline.
+	bl, err := core.NewBlacklist("luxwatch", "watches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.WithGuards(core.Guard{Attr: "Price", Op: "<", Value: "20"}); err != nil {
+		t.Fatal(err)
+	}
+	wlw, err := core.NewWhitelist("luxwatch", "watches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(bl, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(wlw, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	cheap := p.Classify(&catalog.Item{ID: "y", Attrs: map[string]string{"Title": "luxwatch classic", "Price": "9.99"}})
+	if !cheap.Declined && cheap.Type == "watches" {
+		t.Fatalf("guarded blacklist should veto the suspiciously cheap watch: %+v", cheap)
+	}
+	real := p.Classify(&catalog.Item{ID: "z", Attrs: map[string]string{"Title": "luxwatch classic", "Price": "299.00"}})
+	if real.Declined || real.Type != "watches" {
+		t.Fatalf("genuine watch should classify: %+v", real)
+	}
+}
+
+func TestOnboardDeclinedScaleUp(t *testing.T) {
+	// The §2.2 scale-up drill: a vendor sends items of types the system has
+	// never trained on and has no rules for; onboarding must turn the
+	// manual team's labels into rules + training data so a re-run of the
+	// same kind of batch classifies most of it.
+	cat := catalog.New(catalog.Config{Seed: 86, NumTypes: 60})
+	p := New(Config{Seed: 86})
+	// Train WITHOUT two tail types, then receive a batch of exactly those.
+	var train []*catalog.Item
+	onboardTypes := map[string]bool{"camping tents": true, "fishing rods": true}
+	for _, it := range cat.LabeledData(3000) {
+		if !onboardTypes[it.TrueType] {
+			train = append(train, it)
+		}
+	}
+	p.Train(train)
+
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 500, Epoch: 0, OnlyTypes: []string{"camping tents", "fishing rods"}})
+	res := p.ProcessBatch(batch)
+	declineBefore := res.DeclineRate()
+	precBefore, recBefore := res.TruePrecisionRecall()
+	_ = precBefore
+
+	rep, err := p.OnboardDeclined(res, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Declined == 0 || rep.Labeled != rep.Declined {
+		t.Fatalf("manual team should label every declined item: %+v", rep)
+	}
+	if len(rep.NewTypes) == 0 {
+		t.Fatalf("unknown types should be discovered: %+v", rep)
+	}
+	if len(rep.NewRuleIDs) == 0 {
+		t.Fatalf("onboarding should mine rules: %+v", rep)
+	}
+	for _, id := range rep.NewRuleIDs {
+		if p.Rules.Get(id).Provenance != "onboarding" {
+			t.Fatal("provenance missing")
+		}
+	}
+
+	res2 := p.ProcessBatch(batch)
+	_, recAfter := res2.TruePrecisionRecall()
+	if res2.DeclineRate() >= declineBefore {
+		t.Fatalf("onboarding should cut declines: %.3f → %.3f", declineBefore, res2.DeclineRate())
+	}
+	if recAfter <= recBefore {
+		t.Fatalf("onboarding should raise recall: %.3f → %.3f", recBefore, recAfter)
+	}
+}
+
+func TestOnboardDeclinedNothingDeclined(t *testing.T) {
+	_, p := fixture(t, 87)
+	res := &BatchResult{Decisions: []Decision{{Type: "rings", Item: &catalog.Item{ID: "1", Attrs: map[string]string{"Title": "x"}}}}}
+	rep, err := p.OnboardDeclined(res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Declined != 0 || len(rep.NewRuleIDs) != 0 {
+		t.Fatalf("nothing to onboard: %+v", rep)
+	}
+}
+
+func TestConcurrentProcessBatches(t *testing.T) {
+	cat, p := fixture(t, 85)
+	batches := make([][]*catalog.Item, 4)
+	for i := range batches {
+		batches[i] = cat.GenerateBatch(catalog.BatchSpec{Size: 300, Epoch: 0})
+	}
+	done := make(chan *BatchResult, len(batches))
+	for _, b := range batches {
+		go func(items []*catalog.Item) { done <- p.ProcessBatch(items) }(b)
+	}
+	for range batches {
+		res := <-done
+		if len(res.Decisions) != 300 {
+			t.Fatalf("concurrent batch lost decisions: %d", len(res.Decisions))
+		}
+	}
+	if p.ManualQueue() < 0 {
+		t.Fatal("ledger corrupted")
+	}
+}
+
+func TestRecallImprovesOverRounds(t *testing.T) {
+	// The paper's operating curve: precision stays above the gate while
+	// recall climbs as analysts add rules and training data.
+	// Scarce training data and drifted test vocabulary: the §2.2 starting
+	// point ("tolerate lower recall... increase recall over time").
+	cat := catalog.New(catalog.Config{Seed: 83, NumTypes: 60, ZipfS: 1.3})
+	p := New(Config{Seed: 83, SampleSize: 300})
+	p.Train(cat.LabeledData(700))
+
+	// Start with a minimal rulebase.
+	r, _ := core.NewWhitelist("rings?", "rings")
+	_, _ = p.Rules.Add(r, "ana")
+
+	var recalls []float64
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 1500, Epoch: 2})
+	for round := 0; round < 3; round++ {
+		res := p.ProcessBatch(batch)
+		_, rec := res.TruePrecisionRecall()
+		recalls = append(recalls, rec)
+		if _, err := p.EvaluateAndImprove(res); err != nil {
+			t.Fatal(err)
+		}
+		// Analysts also add a couple of whitelist rules per round (simulated
+		// by rules for declined head types).
+		declinedTypes := map[string]int{}
+		for _, d := range res.Decisions {
+			if d.Declined {
+				declinedTypes[d.Item.TrueType]++ // simulation shortcut for "manual team labels them"
+			}
+		}
+		for ty, n := range declinedTypes {
+			if n < 20 {
+				continue
+			}
+			spec := cat.TypeByName(ty)
+			if spec == nil || len(spec.HeadTerms) == 0 {
+				continue
+			}
+			nr, err := core.NewWhitelist(spec.HeadTerms[0].Text, ty)
+			if err == nil {
+				_, _ = p.Rules.Add(nr, "ana")
+			}
+		}
+	}
+	if recalls[len(recalls)-1] <= recalls[0] {
+		t.Fatalf("recall did not improve across rounds: %v", recalls)
+	}
+}

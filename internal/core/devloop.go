@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// DevSession is the §4 rule-development accelerator: an analyst iterating on
+// a rule ("debugging or refining it") re-runs every variation against a
+// development data set D; indexing D once makes each iteration cheap. When
+// the development set is labeled, each attempt also reports its training
+// precision and the confusion profile — the immediate feedback loop that
+// turns hours of manual title-combing into seconds.
+type DevSession struct {
+	di      *DataIndex
+	labeled bool
+}
+
+// NewDevSession indexes the development corpus. The session is labeled when
+// any item carries ground truth.
+func NewDevSession(items []*catalog.Item) *DevSession {
+	s := &DevSession{di: NewDataIndex(items)}
+	for _, it := range items {
+		if it.TrueType != "" {
+			s.labeled = true
+			break
+		}
+	}
+	return s
+}
+
+// Size returns the development-corpus size.
+func (s *DevSession) Size() int { return len(s.di.Items()) }
+
+// DevReport is the feedback for one rule attempt.
+type DevReport struct {
+	Rule *Rule
+	// Coverage is how many development items the rule touches.
+	Coverage int
+	// SampleTitles shows up to 5 touched titles.
+	SampleTitles []string
+	// Precision is the fraction of touched items whose label matches the
+	// target (labeled sessions only — see Evaluable).
+	Precision float64
+	Evaluable bool
+	// Confusions counts touched items per wrong label, largest first
+	// (as label, count pairs for deterministic order).
+	Confusions []LabelCount
+	// Elapsed is the wall time of this attempt (compile + indexed run).
+	Elapsed time.Duration
+}
+
+// LabelCount is one confusion entry.
+type LabelCount struct {
+	Label string
+	Count int
+}
+
+// Try compiles src as a whitelist rule for target and runs it against the
+// indexed development set.
+func (s *DevSession) Try(src, target string) (*DevReport, error) {
+	start := time.Now()
+	r, err := NewWhitelist(src, target)
+	if err != nil {
+		return nil, err
+	}
+	matches := s.di.Matches(r)
+	rep := &DevReport{Rule: r, Coverage: len(matches)}
+
+	items := s.di.Items()
+	confusions := map[string]int{}
+	correct := 0
+	for i, m := range matches {
+		if i < 5 {
+			rep.SampleTitles = append(rep.SampleTitles, items[m].Title())
+		}
+		if !s.labeled {
+			continue
+		}
+		if items[m].TrueType == target {
+			correct++
+		} else {
+			confusions[items[m].TrueType]++
+		}
+	}
+	if s.labeled && len(matches) > 0 {
+		rep.Precision = float64(correct) / float64(len(matches))
+		rep.Evaluable = true
+	}
+	for label, n := range confusions {
+		rep.Confusions = append(rep.Confusions, LabelCount{label, n})
+	}
+	sort.Slice(rep.Confusions, func(i, j int) bool {
+		if rep.Confusions[i].Count != rep.Confusions[j].Count {
+			return rep.Confusions[i].Count > rep.Confusions[j].Count
+		}
+		return rep.Confusions[i].Label < rep.Confusions[j].Label
+	})
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy-split retargeting (§4 maintenance: "when the product type 'pants'
+// is divided into 'work pants' and 'jeans', the rules written for 'pants'
+// become inapplicable. They need to be removed and new rules written.")
+// ---------------------------------------------------------------------------
+
+// RetargetProposal suggests replacing a dead-target rule with copies aimed
+// at the split's successor types, based on where the rule's coverage lands
+// in a relabeled corpus.
+type RetargetProposal struct {
+	OldRuleID string
+	// NewRules are ready-to-review replacement rules (same pattern, new
+	// target), one per successor type that dominates part of the coverage.
+	NewRules []*Rule
+	// Distribution is the coverage share per successor label.
+	Distribution []LabelCount
+	// Coverage is the rule's total coverage in the relabeled corpus.
+	Coverage int
+}
+
+// ProposeRetarget examines active rules whose TargetType is in deadTypes
+// and, using a corpus relabeled under the new taxonomy (items carry the
+// successor labels), proposes replacement rules for every successor type
+// receiving at least minShare of the rule's coverage. Proposed rules carry
+// Provenance "retarget" and the old rule ID in their Note; the analyst
+// reviews, then retires the old rule and adds the replacements.
+func ProposeRetarget(rules []*Rule, relabeled *DataIndex, deadTypes map[string]bool, minShare float64) []RetargetProposal {
+	if minShare <= 0 {
+		minShare = 0.2
+	}
+	var out []RetargetProposal
+	items := relabeled.Items()
+	for _, r := range rules {
+		if r.Status != Active || !deadTypes[r.TargetType] || !r.IsPatternKind() || r.Kind == TypeRestrict {
+			continue
+		}
+		matches := relabeled.Matches(r)
+		if len(matches) == 0 {
+			continue
+		}
+		counts := map[string]int{}
+		for _, m := range matches {
+			counts[items[m].TrueType]++
+		}
+		prop := RetargetProposal{OldRuleID: r.ID, Coverage: len(matches)}
+		labels := make([]string, 0, len(counts))
+		for l := range counts {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool {
+			if counts[labels[i]] != counts[labels[j]] {
+				return counts[labels[i]] > counts[labels[j]]
+			}
+			return labels[i] < labels[j]
+		})
+		for _, l := range labels {
+			prop.Distribution = append(prop.Distribution, LabelCount{l, counts[l]})
+			if float64(counts[l])/float64(len(matches)) < minShare {
+				continue
+			}
+			nr, err := NewWhitelist(r.Source, l)
+			if err != nil {
+				continue
+			}
+			nr.Provenance = "retarget"
+			nr.Note = "split from " + r.ID
+			nr.Guards = append([]Guard(nil), r.Guards...)
+			prop.NewRules = append(prop.NewRules, nr)
+		}
+		if len(prop.NewRules) > 0 {
+			out = append(out, prop)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func devCorpus(t *testing.T) []*catalog.Item {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: 121, NumTypes: 40})
+	return cat.GenerateBatch(catalog.BatchSpec{Size: 2500, Epoch: 0})
+}
+
+func TestDevSessionTry(t *testing.T) {
+	s := NewDevSession(devCorpus(t))
+	if s.Size() != 2500 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	rep, err := s.Try("jeans?", "jeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage == 0 {
+		t.Fatal("jeans rule should touch the corpus")
+	}
+	if len(rep.SampleTitles) == 0 || len(rep.SampleTitles) > 5 {
+		t.Fatalf("sample titles: %v", rep.SampleTitles)
+	}
+	if !rep.Evaluable || rep.Precision < 0.9 {
+		t.Fatalf("labeled session should score the rule: %+v", rep)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+func TestDevSessionConfusions(t *testing.T) {
+	s := NewDevSession(devCorpus(t))
+	// The deliberately sloppy rule from §3: bare "oil" matches olive oil.
+	rep, err := s.Try("oils?", "motor oil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precision >= 1 {
+		t.Skip("corpus draw contained no confusing oils")
+	}
+	if len(rep.Confusions) == 0 {
+		t.Fatal("imprecise rule should report confusions")
+	}
+	// Confusions are sorted descending.
+	for i := 1; i < len(rep.Confusions); i++ {
+		if rep.Confusions[i].Count > rep.Confusions[i-1].Count {
+			t.Fatal("confusions not sorted")
+		}
+	}
+}
+
+func TestDevSessionBadPattern(t *testing.T) {
+	s := NewDevSession(devCorpus(t))
+	if _, err := s.Try("(((", "x"); err == nil {
+		t.Fatal("bad pattern should error")
+	}
+}
+
+func TestDevSessionUnlabeled(t *testing.T) {
+	items := []*catalog.Item{
+		{ID: "1", Attrs: map[string]string{"Title": "blue denim jeans"}},
+		{ID: "2", Attrs: map[string]string{"Title": "red scarf"}},
+	}
+	s := NewDevSession(items)
+	rep, err := s.Try("jeans?", "jeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluable {
+		t.Fatal("unlabeled session cannot score precision")
+	}
+	if rep.Coverage != 1 {
+		t.Fatalf("coverage = %d", rep.Coverage)
+	}
+}
+
+func TestProposeRetargetPantsSplit(t *testing.T) {
+	// Simulate the §4 split: "pants" becomes "work pants" and "jeans". The
+	// relabeled corpus carries the successor labels.
+	cat := catalog.New(catalog.Config{Seed: 122, NumTypes: 40})
+	corpus := cat.GenerateBatch(catalog.BatchSpec{Size: 3000, Epoch: 0, OnlyTypes: []string{"work pants", "jeans"}})
+	di := NewDataIndex(corpus)
+
+	rb := NewRulebase()
+	old := mustRule(NewWhitelist("(pants? | jeans?)", "pants"))
+	fine := mustRule(NewWhitelist("rings?", "rings"))
+	addRules(t, rb, old, fine)
+
+	props := ProposeRetarget(rb.Active(), di, map[string]bool{"pants": true}, 0.2)
+	if len(props) != 1 {
+		t.Fatalf("want one proposal, got %v", props)
+	}
+	p := props[0]
+	if p.OldRuleID != old.ID || p.Coverage == 0 {
+		t.Fatalf("bad proposal: %+v", p)
+	}
+	targets := map[string]bool{}
+	for _, nr := range p.NewRules {
+		if nr.Provenance != "retarget" || nr.Note != "split from "+old.ID {
+			t.Fatalf("provenance missing: %+v", nr)
+		}
+		if nr.Source != old.Source {
+			t.Fatalf("pattern changed: %q", nr.Source)
+		}
+		targets[nr.TargetType] = true
+	}
+	if !targets["work pants"] || !targets["jeans"] {
+		t.Fatalf("both successors should receive rules: %v (dist %v)", targets, p.Distribution)
+	}
+}
+
+func TestProposeRetargetMinShare(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 123, NumTypes: 40})
+	corpus := cat.GenerateBatch(catalog.BatchSpec{Size: 2000, Epoch: 0, OnlyTypes: []string{"jeans"}})
+	di := NewDataIndex(corpus)
+	rb := NewRulebase()
+	old := mustRule(NewWhitelist("jeans?", "pants"))
+	addRules(t, rb, old)
+	// With everything landing in "jeans", a 0.99 share threshold still
+	// yields the jeans replacement and nothing else.
+	props := ProposeRetarget(rb.Active(), di, map[string]bool{"pants": true}, 0.99)
+	if len(props) != 1 || len(props[0].NewRules) != 1 || props[0].NewRules[0].TargetType != "jeans" {
+		t.Fatalf("props = %+v", props)
+	}
+}
+
+func TestProposeRetargetSkipsLiveTypes(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 124, NumTypes: 40})
+	corpus := cat.GenerateBatch(catalog.BatchSpec{Size: 500, Epoch: 0})
+	di := NewDataIndex(corpus)
+	rb := NewRulebase()
+	addRules(t, rb, mustRule(NewWhitelist("rings?", "rings")))
+	if props := ProposeRetarget(rb.Active(), di, map[string]bool{"pants": true}, 0.2); len(props) != 0 {
+		t.Fatalf("live rules must not be retargeted: %v", props)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+// Verdict is the outcome of executing a rule set on one item. Semantics are
+// the staged model §4 motivates: whitelist-family rules assert candidate
+// types, blacklist rules veto types, and attribute-value / type-restrict
+// rules constrain the admissible type set. Because each stage accumulates into sets, the verdict
+// is independent of execution order within a stage — the property E5
+// verifies empirically.
+type Verdict struct {
+	// Asserted maps each asserted type to the rules that asserted it
+	// (Whitelist, Gate and AttrExists rules).
+	Asserted map[string][]*Rule
+	// Vetoed maps each vetoed type to the blacklist rules that vetoed it.
+	Vetoed map[string][]*Rule
+	// Allowed is the intersection of AttrValue constraints; nil means
+	// unconstrained. An empty non-nil set means contradictory constraints.
+	Allowed map[string]bool
+	// Constraints lists the AttrValue rules that fired.
+	Constraints []*Rule
+}
+
+// newVerdict returns an empty verdict.
+func newVerdict() *Verdict {
+	return &Verdict{Asserted: map[string][]*Rule{}, Vetoed: map[string][]*Rule{}}
+}
+
+// absorb applies one matching rule to the verdict.
+func (v *Verdict) absorb(r *Rule) {
+	switch r.Kind {
+	case Whitelist, Gate, AttrExists:
+		v.Asserted[r.TargetType] = append(v.Asserted[r.TargetType], r)
+	case Blacklist:
+		v.Vetoed[r.TargetType] = append(v.Vetoed[r.TargetType], r)
+	case AttrValue, TypeRestrict:
+		v.Constraints = append(v.Constraints, r)
+		allowed := map[string]bool{}
+		for _, t := range r.AllowedTypes {
+			allowed[t] = true
+		}
+		if v.Allowed == nil {
+			v.Allowed = allowed
+		} else {
+			for t := range v.Allowed {
+				if !allowed[t] {
+					delete(v.Allowed, t)
+				}
+			}
+		}
+	}
+}
+
+// FinalTypes returns the surviving asserted types, sorted: asserted, not
+// vetoed, and inside the Allowed constraint when one exists.
+func (v *Verdict) FinalTypes() []string {
+	var out []string
+	for t := range v.Asserted {
+		if len(v.Vetoed[t]) > 0 {
+			continue
+		}
+		if v.Allowed != nil && !v.Allowed[t] {
+			continue
+		}
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evidence returns the rules that asserted t (nil when t did not survive).
+func (v *Verdict) Evidence(t string) []*Rule {
+	for _, ft := range v.FinalTypes() {
+		if ft == t {
+			return v.Asserted[t]
+		}
+	}
+	return nil
+}
+
+// Explain renders a human-readable justification for the verdict — the §3.2
+// "liability concerns may require certain predictions to be explainable"
+// capability that motivates rules in the first place.
+func (v *Verdict) Explain() string {
+	var b []byte
+	app := func(s string) { b = append(b, s...) }
+	finals := v.FinalTypes()
+	if len(finals) == 0 {
+		app("no type survives the rule verdict\n")
+	}
+	for _, t := range finals {
+		app("type " + t + " because:\n")
+		for _, r := range v.Asserted[t] {
+			app("  + " + r.String() + "\n")
+		}
+	}
+	for t, rs := range v.Vetoed {
+		if len(v.Asserted[t]) == 0 {
+			continue
+		}
+		app("type " + t + " vetoed by:\n")
+		for _, r := range rs {
+			app("  - " + r.String() + "\n")
+		}
+	}
+	return string(b)
+}
+
+// Executor evaluates a rule set against single items.
+type Executor interface {
+	Apply(it *catalog.Item) *Verdict
+}
+
+// SequentialExecutor scans every rule for every item — the §4 baseline whose
+// cost motivates indexing.
+type SequentialExecutor struct {
+	rules []*Rule
+}
+
+// NewSequentialExecutor wraps rules (Filter rules are ignored by Apply).
+func NewSequentialExecutor(rules []*Rule) *SequentialExecutor {
+	return &SequentialExecutor{rules: rules}
+}
+
+// Apply implements Executor.
+func (e *SequentialExecutor) Apply(it *catalog.Item) *Verdict {
+	v := newVerdict()
+	for _, r := range e.rules {
+		if r.Kind == Filter {
+			continue
+		}
+		if r.Matches(it) {
+			v.absorb(r)
+		}
+	}
+	return v
+}
+
+// IndexedExecutor evaluates only the rules the index proposes. It produces
+// verdicts identical to SequentialExecutor over the same rules (tested as a
+// property), typically evaluating orders of magnitude fewer rules.
+type IndexedExecutor struct {
+	idx *RuleIndex
+}
+
+// NewIndexedExecutor builds the rule index and wraps it.
+func NewIndexedExecutor(rules []*Rule) *IndexedExecutor {
+	return &IndexedExecutor{idx: NewRuleIndex(rules)}
+}
+
+// NewIndexedExecutorWithDF builds a frequency-aware rule index (see
+// NewRuleIndexWithDF) and wraps it.
+func NewIndexedExecutorWithDF(rules []*Rule, df map[string]int) *IndexedExecutor {
+	return &IndexedExecutor{idx: NewRuleIndexWithDF(rules, df)}
+}
+
+// Apply implements Executor.
+func (e *IndexedExecutor) Apply(it *catalog.Item) *Verdict {
+	v := newVerdict()
+	for _, r := range e.idx.CandidatesFor(it) {
+		if r.Matches(it) {
+			v.absorb(r)
+		}
+	}
+	return v
+}
+
+// ExecuteBatch applies exec to every item using workers goroutines — the
+// shared-nothing "cluster" substitute for the paper's Hadoop execution.
+// Results are positionally aligned with items. workers <= 1 runs inline.
+func ExecuteBatch(exec Executor, items []*catalog.Item, workers int) []*Verdict {
+	out := make([]*Verdict, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = exec.Apply(it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = exec.Apply(items[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+// corpusAndRules builds a catalog corpus plus a realistic mixed rulebase.
+func corpusAndRules(t *testing.T, nItems int) ([]*catalog.Item, []*Rule) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: 31, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: nItems, Epoch: 1})
+	specs := []struct {
+		kind   Kind
+		src    string
+		target string
+	}{
+		{Whitelist, "rings?", "rings"},
+		{Whitelist, "diamond.*trio sets?", "rings"},
+		{Whitelist, "(motor | engine) oils?", "motor oil"},
+		{Whitelist, "jeans?", "jeans"},
+		{Whitelist, "denim.*jeans?", "jeans"},
+		{Whitelist, "(satchel | purse | tote) ", "handbags"},
+		{Whitelist, "laptop (bag | case | sleeve)s?", "laptop bags & cases"},
+		{Blacklist, "olive oils?", "motor oil"},
+		{Blacklist, "laptop (bag | case | sleeve)s?", "laptop computers"},
+		{Whitelist, "laptops?", "laptop computers"},
+	}
+	var rules []*Rule
+	for i, s := range specs {
+		var r *Rule
+		var err error
+		switch s.kind {
+		case Whitelist:
+			r, err = NewWhitelist(s.src, s.target)
+		case Blacklist:
+			r, err = NewBlacklist(s.src, s.target)
+		}
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		r.ID = s.src + "->" + s.target
+		rules = append(rules, r)
+	}
+	isbn := mustRule(NewAttrExists("isbn", "books"))
+	isbn.ID = "isbn->books"
+	rules = append(rules, isbn)
+	brand := mustRule(NewAttrValue("Brand Name", "apex", []string{"laptop computers", "smart phones", "tablets", "watches", "headphones"}))
+	brand.ID = "brand-apex"
+	rules = append(rules, brand)
+	return items, rules
+}
+
+func TestSequentialVerdictSemantics(t *testing.T) {
+	_, rules := corpusAndRules(t, 0)
+	ex := NewSequentialExecutor(rules)
+
+	v := ex.Apply(item("Platinaire Diamond Accent Ring", nil))
+	if got := v.FinalTypes(); len(got) != 1 || got[0] != "rings" {
+		t.Fatalf("final types = %v", got)
+	}
+	if len(v.Evidence("rings")) == 0 {
+		t.Fatal("evidence missing")
+	}
+
+	// Blacklist veto: olive oil is matched by nothing whitelisting, plus
+	// vetoed anyway.
+	v = ex.Apply(item("extra virgin olive oil 500ml", nil))
+	for _, ft := range v.FinalTypes() {
+		if ft == "motor oil" {
+			t.Fatal("olive oil escaped the blacklist")
+		}
+	}
+
+	// Whitelist + blacklist interplay: laptop bag asserts bags and vetoes
+	// laptop computers.
+	v = ex.Apply(item("padded laptop bag 15.6 inch", nil))
+	finals := v.FinalTypes()
+	if len(finals) != 1 || finals[0] != "laptop bags & cases" {
+		t.Fatalf("laptop bag finals = %v", finals)
+	}
+}
+
+func TestAttrValueConstrains(t *testing.T) {
+	_, rules := corpusAndRules(t, 0)
+	ex := NewSequentialExecutor(rules)
+	// "apex ring" matches rings whitelist but brand constraint excludes it.
+	v := ex.Apply(item("apex diamond ring", map[string]string{"Brand Name": "apex"}))
+	if got := v.FinalTypes(); len(got) != 0 {
+		t.Fatalf("brand constraint should suppress rings: %v", got)
+	}
+	// Constraint alone asserts nothing.
+	v = ex.Apply(item("mystery gadget", map[string]string{"Brand Name": "apex"}))
+	if got := v.FinalTypes(); len(got) != 0 {
+		t.Fatalf("constraint alone asserted: %v", got)
+	}
+	// Whitelist inside the allowed set survives.
+	v = ex.Apply(item("apex laptop 8gb", map[string]string{"Brand Name": "apex"}))
+	if got := v.FinalTypes(); len(got) != 1 || got[0] != "laptop computers" {
+		t.Fatalf("allowed whitelist suppressed: %v", got)
+	}
+}
+
+func TestAttrExistsInVerdict(t *testing.T) {
+	_, rules := corpusAndRules(t, 0)
+	ex := NewSequentialExecutor(rules)
+	v := ex.Apply(item("The Long Afternoon", map[string]string{"isbn": "9781234567890"}))
+	if got := v.FinalTypes(); len(got) != 1 || got[0] != "books" {
+		t.Fatalf("isbn rule did not classify book: %v", got)
+	}
+}
+
+func TestExplainMentionsRules(t *testing.T) {
+	_, rules := corpusAndRules(t, 0)
+	ex := NewSequentialExecutor(rules)
+	v := ex.Apply(item("Diamond Ring", nil))
+	s := v.Explain()
+	if s == "" || !contains(s, "rings") {
+		t.Fatalf("explanation unusable: %q", s)
+	}
+	empty := ex.Apply(item("mystery object", nil)).Explain()
+	if !contains(empty, "no type survives") {
+		t.Fatalf("empty verdict explanation: %q", empty)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestIndexedMatchesSequential(t *testing.T) {
+	items, rules := corpusAndRules(t, 2000)
+	seq := NewSequentialExecutor(rules)
+	idx := NewIndexedExecutor(rules)
+	for _, it := range items {
+		if !VerdictsEqual(seq.Apply(it), idx.Apply(it)) {
+			t.Fatalf("executors disagree on %q", it.Title())
+		}
+	}
+}
+
+func TestIndexedMatchesSequentialProperty(t *testing.T) {
+	// Random titles out of arbitrary vocabulary must also agree.
+	_, rules := corpusAndRules(t, 0)
+	seq := NewSequentialExecutor(rules)
+	idx := NewIndexedExecutor(rules)
+	vocab := []string{"ring", "rings", "diamond", "trio", "set", "motor", "oil", "olive",
+		"laptop", "bag", "jeans", "denim", "satchel", "x", "y", "z"}
+	f := func(seed uint64, n uint8) bool {
+		r := randx.New(seed)
+		tokens := make([]string, int(n)%12)
+		for i := range tokens {
+			tokens[i] = vocab[r.Intn(len(vocab))]
+		}
+		it := &catalog.Item{ID: "q", Attrs: map[string]string{"Title": ""}}
+		// Bypass tokenization: construct via title join.
+		it.Attrs["Title"] = join(tokens)
+		return VerdictsEqual(seq.Apply(it), idx.Apply(it))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func join(tokens []string) string {
+	out := ""
+	for i, t := range tokens {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}
+
+func TestRuleIndexSelectivity(t *testing.T) {
+	items, rules := corpusAndRules(t, 500)
+	idx := NewRuleIndex(rules)
+	if idx.Len() != len(rules) {
+		t.Fatalf("indexed %d of %d rules", idx.Len(), len(rules))
+	}
+	totalCands := 0
+	for _, it := range items {
+		totalCands += len(idx.CandidatesFor(it))
+	}
+	avg := float64(totalCands) / float64(len(items))
+	if avg >= float64(len(rules)) {
+		t.Fatalf("index has no selectivity: avg %.1f of %d", avg, len(rules))
+	}
+}
+
+func TestDataIndexMatchesBruteForce(t *testing.T) {
+	items, rules := corpusAndRules(t, 800)
+	di := NewDataIndex(items)
+	for _, r := range rules {
+		if r.Kind == Filter {
+			continue
+		}
+		want := map[int32]bool{}
+		for i, it := range items {
+			if r.Matches(it) {
+				want[int32(i)] = true
+			}
+		}
+		got := di.Matches(r)
+		if len(got) != len(want) {
+			t.Fatalf("rule %s: index found %d, brute force %d", r.ID, len(got), len(want))
+		}
+		for _, i := range got {
+			if !want[i] {
+				t.Fatalf("rule %s: spurious match %d", r.ID, i)
+			}
+		}
+		if di.Coverage(r) != len(want) {
+			t.Fatalf("coverage mismatch for %s", r.ID)
+		}
+	}
+}
+
+func TestExecuteBatchParallelAgreesWithSerial(t *testing.T) {
+	items, rules := corpusAndRules(t, 1500)
+	ex := NewIndexedExecutor(rules)
+	serial := ExecuteBatch(ex, items, 1)
+	parallel := ExecuteBatch(ex, items, 8)
+	if len(serial) != len(parallel) {
+		t.Fatal("result length mismatch")
+	}
+	for i := range serial {
+		if !VerdictsEqual(serial[i], parallel[i]) {
+			t.Fatalf("parallel execution diverged at %d", i)
+		}
+	}
+}
+
+func TestExecuteBatchMoreWorkersThanItems(t *testing.T) {
+	items, rules := corpusAndRules(t, 3)
+	ex := NewSequentialExecutor(rules)
+	out := ExecuteBatch(ex, items, 16)
+	for i, v := range out {
+		if v == nil {
+			t.Fatalf("missing verdict %d", i)
+		}
+	}
+}
+
+func TestVerdictContradictoryConstraints(t *testing.T) {
+	a := mustRule(NewAttrValue("Brand Name", "apex", []string{"laptop computers"}))
+	b := mustRule(NewAttrValue("Carrier", "unlocked", []string{"smart phones"}))
+	w := mustRule(NewWhitelist("laptops?", "laptop computers"))
+	ex := NewSequentialExecutor([]*Rule{a, b, w})
+	v := ex.Apply(item("apex laptop", map[string]string{"Brand Name": "apex", "Carrier": "unlocked"}))
+	if len(v.Allowed) != 0 {
+		t.Fatalf("contradictory constraints should empty the allowed set: %v", v.Allowed)
+	}
+	if len(v.FinalTypes()) != 0 {
+		t.Fatal("nothing should survive contradictory constraints")
+	}
+}

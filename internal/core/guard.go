@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Guard is an attribute-side condition attached to a rule — the §4
+// rule-language extension the paper asks for: "it does not allow analysts to
+// state that 'if the title contains Apple but the price is less than $100
+// then the product is not a phone'". A rule with guards fires only when its
+// pattern/attribute condition AND every guard hold.
+type Guard struct {
+	// Attr is the attribute inspected (missing attribute → guard fails).
+	Attr string `json:"attr"`
+	// Op is one of "<", "<=", ">", ">=", "=", "!=", "contains".
+	Op string `json:"op"`
+	// Value is the comparison operand. Numeric ops parse the leading number
+	// of the attribute value ("5.00", "15.6 in").
+	Value string `json:"value"`
+}
+
+// validGuardOps enumerates the supported operators.
+var validGuardOps = map[string]bool{
+	"<": true, "<=": true, ">": true, ">=": true, "=": true, "!=": true,
+	"contains": true,
+}
+
+// Validate checks the guard's shape.
+func (g Guard) Validate() error {
+	if g.Attr == "" {
+		return fmt.Errorf("core: guard needs an attribute")
+	}
+	if !validGuardOps[g.Op] {
+		return fmt.Errorf("core: unknown guard op %q", g.Op)
+	}
+	if g.Value == "" {
+		return fmt.Errorf("core: guard needs a value")
+	}
+	switch g.Op {
+	case "<", "<=", ">", ">=":
+		if _, err := strconv.ParseFloat(g.Value, 64); err != nil {
+			return fmt.Errorf("core: numeric guard %s %s needs a numeric value: %w", g.Attr, g.Op, err)
+		}
+	}
+	return nil
+}
+
+// Holds evaluates the guard against an item.
+func (g Guard) Holds(it *catalog.Item) bool {
+	raw, ok := it.Attrs[g.Attr]
+	if !ok {
+		return false
+	}
+	switch g.Op {
+	case "=":
+		return strings.EqualFold(raw, g.Value)
+	case "!=":
+		return !strings.EqualFold(raw, g.Value)
+	case "contains":
+		return strings.Contains(strings.ToLower(raw), strings.ToLower(g.Value))
+	default:
+		have, ok := leadingNumber(raw)
+		if !ok {
+			return false
+		}
+		want, err := strconv.ParseFloat(g.Value, 64)
+		if err != nil {
+			return false
+		}
+		switch g.Op {
+		case "<":
+			return have < want
+		case "<=":
+			return have <= want
+		case ">":
+			return have > want
+		case ">=":
+			return have >= want
+		}
+		return false
+	}
+}
+
+// String renders the guard.
+func (g Guard) String() string { return fmt.Sprintf("%s %s %s", g.Attr, g.Op, g.Value) }
+
+// leadingNumber parses the first whitespace-separated field of s as a float.
+func leadingNumber(s string) (float64, bool) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(fields[0], 64)
+	return f, err == nil
+}
+
+// WithGuards attaches validated guards to the rule and returns it, enabling
+// fluent construction:
+//
+//	r, _ := core.NewBlacklist("apple", "smart phones")
+//	r, err = r.WithGuards(core.Guard{Attr: "Price", Op: "<", Value: "100"})
+func (r *Rule) WithGuards(guards ...Guard) (*Rule, error) {
+	for _, g := range guards {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r.Guards = append(r.Guards, guards...)
+	return r, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGuardPaperExample(t *testing.T) {
+	// §4: "if the title contains 'Apple' but the price is less than $100
+	// then the product is not a phone".
+	r, err := NewBlacklist("apple", "smart phones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = r.WithGuards(Guard{Attr: "Price", Op: "<", Value: "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := item("apple branded case", map[string]string{"Price": "12.99"})
+	if !r.Matches(cheap) {
+		t.Fatal("cheap apple item should trigger the guarded blacklist")
+	}
+	expensive := item("apple smartphone unlocked", map[string]string{"Price": "699.00"})
+	if r.Matches(expensive) {
+		t.Fatal("expensive apple item must not trigger the guard")
+	}
+	noPrice := item("apple gadget", nil)
+	if r.Matches(noPrice) {
+		t.Fatal("missing attribute should fail the guard")
+	}
+}
+
+func TestGuardOps(t *testing.T) {
+	it := item("x", map[string]string{"Price": "50.00", "Color": "navy blue", "Screen Size": "15.6 in"})
+	cases := []struct {
+		g    Guard
+		want bool
+	}{
+		{Guard{"Price", "<", "100"}, true},
+		{Guard{"Price", "<=", "50"}, true},
+		{Guard{"Price", ">", "49"}, true},
+		{Guard{"Price", ">=", "51"}, false},
+		{Guard{"Color", "=", "NAVY BLUE"}, true},
+		{Guard{"Color", "!=", "red"}, true},
+		{Guard{"Color", "contains", "navy"}, true},
+		{Guard{"Color", "contains", "green"}, false},
+		{Guard{"Screen Size", ">", "15"}, true}, // leading number of "15.6 in"
+		{Guard{"Missing", "=", "x"}, false},
+		{Guard{"Color", "<", "5"}, false}, // non-numeric value under numeric op
+	}
+	for _, c := range cases {
+		if got := c.g.Holds(it); got != c.want {
+			t.Errorf("guard %s: got %v, want %v", c.g, got, c.want)
+		}
+	}
+}
+
+func TestGuardValidation(t *testing.T) {
+	bad := []Guard{
+		{"", "<", "5"},
+		{"Price", "~", "5"},
+		{"Price", "<", ""},
+		{"Price", "<", "cheap"},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("guard %v should be invalid", g)
+		}
+	}
+	if err := (Guard{"Color", "contains", "blue"}).Validate(); err != nil {
+		t.Errorf("contains guard should validate: %v", err)
+	}
+	r := mustRule(NewWhitelist("x", "t"))
+	if _, err := r.WithGuards(Guard{"Price", "~", "5"}); err == nil {
+		t.Error("WithGuards should reject invalid guards")
+	}
+}
+
+func TestGuardedRuleString(t *testing.T) {
+	r := mustRule(NewBlacklist("apple", "smart phones"))
+	r, _ = r.WithGuards(Guard{"Price", "<", "100"})
+	if !strings.Contains(r.String(), "[if Price < 100]") {
+		t.Fatalf("guard missing from String(): %s", r)
+	}
+}
+
+func TestGuardedRuleJSONRoundTrip(t *testing.T) {
+	r := mustRule(NewWhitelist("laptops?", "laptop computers"))
+	r, _ = r.WithGuards(Guard{"Price", ">=", "200"})
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Rule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Guards) != 1 || back.Guards[0].Op != ">=" {
+		t.Fatalf("guards lost: %+v", back.Guards)
+	}
+	cheap := item("apex laptop", map[string]string{"Price": "99"})
+	costly := item("apex laptop", map[string]string{"Price": "500"})
+	if back.Matches(cheap) || !back.Matches(costly) {
+		t.Fatal("round-tripped guard semantics broken")
+	}
+}
+
+func TestGuardedRuleJSONRejectsBadGuard(t *testing.T) {
+	var r Rule
+	blob := `{"kind":"whitelist","status":"active","source":"x","target_type":"t","guards":[{"attr":"Price","op":"~","value":"5"}]}`
+	if err := json.Unmarshal([]byte(blob), &r); err == nil {
+		t.Fatal("invalid guard should fail deserialization")
+	}
+}
+
+func TestGuardedRulesInVerdict(t *testing.T) {
+	wl := mustRule(NewWhitelist("phones?", "smart phones"))
+	guarded := mustRule(NewBlacklist("phones?", "smart phones"))
+	guarded, _ = guarded.WithGuards(Guard{"Price", "<", "50"})
+	ex := NewSequentialExecutor([]*Rule{wl, guarded})
+
+	toy := item("toy phone", map[string]string{"Price": "9.99"})
+	if got := ex.Apply(toy).FinalTypes(); len(got) != 0 {
+		t.Fatalf("cheap phone should be vetoed: %v", got)
+	}
+	real := item("flagship phone", map[string]string{"Price": "899"})
+	if got := ex.Apply(real).FinalTypes(); len(got) != 1 || got[0] != "smart phones" {
+		t.Fatalf("real phone should classify: %v", got)
+	}
+}
+
+func TestGuardedGeneralNeverSubsumes(t *testing.T) {
+	rb := NewRulebase()
+	guarded := mustRule(NewWhitelist("jeans?", "jeans"))
+	guarded, _ = guarded.WithGuards(Guard{"Price", "<", "40"})
+	specific := mustRule(NewWhitelist("denim.*jeans?", "jeans"))
+	addRules(t, rb, guarded, specific)
+	for _, p := range FindSubsumed(rb.Active()) {
+		if p.GeneralID == guarded.ID {
+			t.Fatalf("guarded rule must not act as a subsuming general: %+v", p)
+		}
+	}
+}
+
+func TestGuardedRulesNotDuplicates(t *testing.T) {
+	rb := NewRulebase()
+	plain := mustRule(NewWhitelist("jeans?", "jeans"))
+	guarded := mustRule(NewWhitelist("jeans?", "jeans"))
+	guarded, _ = guarded.WithGuards(Guard{"Price", "<", "40"})
+	addRules(t, rb, plain, guarded)
+	if dups := FindDuplicates(rb.Active()); len(dups) != 0 {
+		t.Fatalf("guarded variant is not a duplicate: %v", dups)
+	}
+}
+
+func TestGuardedRulesNotConsolidated(t *testing.T) {
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("(denim)", "jeans"))
+	b := mustRule(NewWhitelist("(carpenter)", "jeans"))
+	b, _ = b.WithGuards(Guard{"Price", "<", "40"})
+	addRules(t, rb, a, b)
+	if cons := ConsolidateWhitelists(rb.Active()); len(cons) != 0 {
+		t.Fatalf("guarded rules must not merge: %v", cons)
+	}
+}

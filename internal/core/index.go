@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// RuleIndex answers "which rules could match this item?" without scanning
+// the whole rulebase — the §5.3 solution: "index these rules, so that given
+// a particular data item we can quickly locate those rules that are likely
+// to match".
+//
+// Pattern rules post under their most selective witness tokens
+// (pattern.IndexKeys): a title can only match if it contains one of them.
+// Attribute rules post under their attribute name. Rules with no witness
+// (pure wildcards) fall back to an unconditional scan list, preserving
+// exactness: CandidatesFor over-approximates but never misses a matching
+// rule.
+type RuleIndex struct {
+	byToken map[string][]*Rule
+	byAttr  map[string][]*Rule
+	always  []*Rule
+	nRules  int
+}
+
+// NewRuleIndex builds an index over the given rules. Filter rules are not
+// item-matched and are excluded.
+func NewRuleIndex(rules []*Rule) *RuleIndex { return NewRuleIndexWithDF(rules, nil) }
+
+// NewRuleIndexWithDF builds a rule index using corpus token document
+// frequencies to pick each rule's posting keys: among a pattern's witness
+// sets, the one whose tokens are rarest in the corpus is chosen, so common
+// modifier tokens ("premium") stop flooding the posting lists. df is
+// typically gathered from a recent batch sample; nil falls back to the
+// smallest witness set by alternative count.
+func NewRuleIndexWithDF(rules []*Rule, df map[string]int) *RuleIndex {
+	idx := &RuleIndex{
+		byToken: map[string][]*Rule{},
+		byAttr:  map[string][]*Rule{},
+	}
+	for _, r := range rules {
+		switch {
+		case r.IsPatternKind():
+			keys := chooseKeys(r, df)
+			if len(keys) == 0 {
+				idx.always = append(idx.always, r)
+				break
+			}
+			for _, k := range keys {
+				idx.byToken[k] = append(idx.byToken[k], r)
+			}
+		case r.Kind == AttrExists || r.Kind == AttrValue:
+			idx.byAttr[strings.ToLower(r.Attr)] = append(idx.byAttr[strings.ToLower(r.Attr)], r)
+		default:
+			continue // Filter rules act on predictions, not items
+		}
+		idx.nRules++
+	}
+	return idx
+}
+
+// chooseKeys picks a pattern rule's posting keys: without df, the smallest
+// witness set; with df, the witness set with the lowest total corpus
+// frequency (ties to the smaller set).
+func chooseKeys(r *Rule, df map[string]int) []string {
+	if df == nil {
+		return r.Pattern().IndexKeys()
+	}
+	var best []string
+	bestCost := -1
+	for _, ws := range r.Pattern().RequiredAlternatives() {
+		cost := 0
+		for _, tok := range ws {
+			cost += df[tok] + 1
+		}
+		if bestCost < 0 || cost < bestCost || (cost == bestCost && len(ws) < len(best)) {
+			best, bestCost = ws, cost
+		}
+	}
+	return best
+}
+
+// TokenDF tallies per-token document frequencies over a corpus sample, the
+// statistics NewRuleIndexWithDF consumes.
+func TokenDF(items []*catalog.Item) map[string]int {
+	df := map[string]int{}
+	for _, it := range items {
+		seen := map[string]bool{}
+		for _, tok := range it.TitleTokens() {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	return df
+}
+
+// Len returns the number of indexed rules.
+func (idx *RuleIndex) Len() int { return idx.nRules }
+
+// CandidatesFor returns the rules that could match the item, deduplicated,
+// in no particular order. The result is a superset of the actually matching
+// rules. Deduplication is by rule identity, so rules that were never added
+// to a rulebase (and share the empty ID) are still all considered.
+func (idx *RuleIndex) CandidatesFor(it *catalog.Item) []*Rule {
+	seen := map[*Rule]bool{}
+	out := make([]*Rule, 0, 8)
+	add := func(rs []*Rule) {
+		for _, r := range rs {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	for _, tok := range it.TitleTokens() {
+		if rs, ok := idx.byToken[tok]; ok {
+			add(rs)
+		}
+	}
+	for attr := range it.Attrs {
+		if rs, ok := idx.byAttr[strings.ToLower(attr)]; ok {
+			add(rs)
+		}
+	}
+	add(idx.always)
+	return out
+}
+
+// DataIndex answers the dual question — "which items could this rule
+// match?" — over a fixed development corpus D. It is the §4 rule-development
+// accelerator: an analyst iterating on a rule re-runs it against D on every
+// edit, and the index reduces each run from |D| matches to the posting-list
+// union.
+type DataIndex struct {
+	items   []*catalog.Item
+	byToken map[string][]int32
+	byAttr  map[string][]int32
+}
+
+// NewDataIndex indexes the corpus by title token and attribute name.
+func NewDataIndex(items []*catalog.Item) *DataIndex {
+	di := &DataIndex{
+		items:   items,
+		byToken: map[string][]int32{},
+		byAttr:  map[string][]int32{},
+	}
+	for i, it := range items {
+		seen := map[string]bool{}
+		for _, tok := range it.TitleTokens() {
+			if !seen[tok] {
+				seen[tok] = true
+				di.byToken[tok] = append(di.byToken[tok], int32(i))
+			}
+		}
+		for attr := range it.Attrs {
+			di.byAttr[strings.ToLower(attr)] = append(di.byAttr[strings.ToLower(attr)], int32(i))
+		}
+	}
+	return di
+}
+
+// Items exposes the indexed corpus.
+func (di *DataIndex) Items() []*catalog.Item { return di.items }
+
+// CandidateItems returns indices of items that could match the rule (a
+// superset of actual matches). Pattern rules with no witness and unknown
+// kinds fall back to the whole corpus.
+func (di *DataIndex) CandidateItems(r *Rule) []int32 {
+	switch {
+	case r.IsPatternKind():
+		keys := r.Pattern().IndexKeys()
+		if len(keys) == 0 {
+			return di.all()
+		}
+		return di.unionTokens(keys)
+	case r.Kind == AttrExists || r.Kind == AttrValue:
+		return append([]int32(nil), di.byAttr[strings.ToLower(r.Attr)]...)
+	default:
+		return di.all()
+	}
+}
+
+// Matches runs the rule over the corpus using the index and returns the
+// indices of actually matching items.
+func (di *DataIndex) Matches(r *Rule) []int32 {
+	var out []int32
+	for _, i := range di.CandidateItems(r) {
+		if r.Matches(di.items[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Coverage returns |Cov(r, D)|: the number of items the rule touches — the
+// quantity the §5.2 selection algorithms maximize.
+func (di *DataIndex) Coverage(r *Rule) int { return len(di.Matches(r)) }
+
+func (di *DataIndex) all() []int32 {
+	out := make([]int32, len(di.items))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// unionTokens merges posting lists for the given tokens, deduplicated and
+// ascending. Lists are already sorted by construction.
+func (di *DataIndex) unionTokens(tokens []string) []int32 {
+	if len(tokens) == 1 {
+		return append([]int32(nil), di.byToken[tokens[0]]...)
+	}
+	seen := map[int32]bool{}
+	var out []int32
+	for _, tok := range tokens {
+		for _, i := range di.byToken[tok] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	// Restore ascending order for determinism.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestTokenDF(t *testing.T) {
+	items := []*catalog.Item{
+		item("premium motor oil", nil),
+		item("premium olive oil", nil),
+		item("premium ring", nil),
+	}
+	df := TokenDF(items)
+	if df["premium"] != 3 || df["oil"] != 2 || df["ring"] != 1 {
+		t.Fatalf("df wrong: %v", df)
+	}
+	// Duplicate tokens in one title count once.
+	df = TokenDF([]*catalog.Item{item("oil oil oil", nil)})
+	if df["oil"] != 1 {
+		t.Fatalf("duplicates inflated df: %v", df)
+	}
+}
+
+func TestDFIndexPicksRareWitness(t *testing.T) {
+	// Pattern with two witness sets: {premium} (1 alternative, very common)
+	// and {zirconia, vortex} (2 alternatives, rare). Size-based selection
+	// picks {premium}; frequency-aware selection must pick the rare pair.
+	r := mustRule(NewWhitelist("premium (zirconia | vortex)", "widgets"))
+	r.ID = "r1"
+	var corpus []*catalog.Item
+	for i := 0; i < 50; i++ {
+		corpus = append(corpus, item("premium everyday thing", nil))
+	}
+	corpus = append(corpus, item("premium zirconia widget", nil))
+	df := TokenDF(corpus)
+
+	bySize := NewRuleIndex([]*Rule{r})
+	byDF := NewRuleIndexWithDF([]*Rule{r}, df)
+
+	common := item("premium everyday thing", nil)
+	if got := bySize.CandidatesFor(common); len(got) != 1 {
+		t.Fatalf("size-based index should propose the rule for common titles: %v", got)
+	}
+	if got := byDF.CandidatesFor(common); len(got) != 0 {
+		t.Fatalf("df-aware index should skip titles without the rare witness: %v", got)
+	}
+	// Exactness: actual matches are still proposed.
+	matching := item("premium zirconia widget", nil)
+	if got := byDF.CandidatesFor(matching); len(got) != 1 {
+		t.Fatalf("df-aware index lost a real candidate: %v", got)
+	}
+}
+
+func TestDFExecutorEquivalence(t *testing.T) {
+	items, rules := corpusAndRules(t, 1200)
+	df := TokenDF(items)
+	seq := NewSequentialExecutor(rules)
+	dfx := NewIndexedExecutorWithDF(rules, df)
+	for _, it := range items {
+		if !VerdictsEqual(seq.Apply(it), dfx.Apply(it)) {
+			t.Fatalf("df executor disagrees on %q", it.Title())
+		}
+	}
+}
+
+func TestDFIndexSelectivityNotWorse(t *testing.T) {
+	items, rules := corpusAndRules(t, 800)
+	df := TokenDF(items)
+	plain := NewRuleIndex(rules)
+	aware := NewRuleIndexWithDF(rules, df)
+	var nPlain, nAware int
+	for _, it := range items {
+		nPlain += len(plain.CandidatesFor(it))
+		nAware += len(aware.CandidatesFor(it))
+	}
+	if nAware > nPlain {
+		t.Fatalf("frequency-aware keys should not propose more candidates: %d vs %d", nAware, nPlain)
+	}
+}
+
+func TestNewGateAndAddAll(t *testing.T) {
+	g, err := NewGate("(satchel | purse)", "handbags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != Gate || !g.Matches(item("quilted purse mini", nil)) {
+		t.Fatalf("gate rule broken: %s", g)
+	}
+	if _, err := NewGate("(((", "handbags"); err == nil {
+		t.Fatal("bad gate pattern should fail")
+	}
+	if _, err := NewFilter(""); err == nil {
+		t.Fatal("empty filter target should fail")
+	}
+
+	rb := NewRulebase()
+	rules := []*Rule{g, mustRule(NewFilter("vitamins"))}
+	if err := rb.AddAll(rules, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != 2 {
+		t.Fatalf("AddAll added %d", rb.Len())
+	}
+	// AddAll stops at the first error (duplicate ID).
+	dup := mustRule(NewFilter("vitamins"))
+	dup.ID = g.ID
+	if err := rb.AddAll([]*Rule{dup}, "ana"); err == nil {
+		t.Fatal("AddAll should propagate errors")
+	}
+}
+
+func TestDataIndexCandidatesForWildcardRule(t *testing.T) {
+	items := []*catalog.Item{item("a b", nil), item("c d", nil)}
+	di := NewDataIndex(items)
+	r := mustRule(NewWhitelist(`(\w+) (\w+)`, "anything"))
+	if got := di.CandidateItems(r); len(got) != 2 {
+		t.Fatalf("wildcard rule should scan everything: %v", got)
+	}
+	if got := di.Matches(r); len(got) != 2 {
+		t.Fatalf("wildcard rule should match both: %v", got)
+	}
+}
+
+func TestExplainCoversVetoes(t *testing.T) {
+	wl := mustRule(NewWhitelist("jeans?", "jeans"))
+	bl := mustRule(NewBlacklist("toy", "jeans"))
+	ex := NewSequentialExecutor([]*Rule{wl, bl})
+	v := ex.Apply(item("toy jeans for dolls", nil))
+	s := v.Explain()
+	if !contains(s, "vetoed by") {
+		t.Fatalf("explanation should show the veto: %q", s)
+	}
+	if v.Evidence("jeans") != nil {
+		t.Fatal("vetoed type must not expose evidence")
+	}
+}

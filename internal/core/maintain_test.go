@@ -1,0 +1,258 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+func addRules(t *testing.T, rb *Rulebase, rules ...*Rule) {
+	t.Helper()
+	for _, r := range rules {
+		if _, err := rb.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFindSubsumedPaperExample(t *testing.T) {
+	rb := NewRulebase()
+	general := mustRule(NewWhitelist("jeans?", "jeans"))
+	specific := mustRule(NewWhitelist("denim.*jeans?", "jeans"))
+	other := mustRule(NewWhitelist("jeans?", "work pants")) // different target: untouched
+	addRules(t, rb, general, specific, other)
+
+	pairs := FindSubsumed(rb.Active())
+	if len(pairs) != 1 {
+		t.Fatalf("want exactly one pair, got %v", pairs)
+	}
+	if pairs[0].GeneralID != general.ID || pairs[0].SpecificID != specific.ID {
+		t.Fatalf("wrong direction: %+v", pairs[0])
+	}
+}
+
+func TestFindSubsumedEquivalentKeepsOlder(t *testing.T) {
+	rb := NewRulebase()
+	first := mustRule(NewWhitelist("(jean | jeans)", "jeans"))
+	second := mustRule(NewWhitelist("jeans?", "jeans"))
+	addRules(t, rb, first, second)
+	pairs := FindSubsumed(rb.Active())
+	if len(pairs) != 1 {
+		t.Fatalf("equivalent rules should report one pair, got %v", pairs)
+	}
+	if pairs[0].GeneralID != first.ID || pairs[0].SpecificID != second.ID {
+		t.Fatalf("older rule should be kept as general: %+v", pairs[0])
+	}
+}
+
+func TestFindSubsumedIgnoresBlacklistVsWhitelist(t *testing.T) {
+	rb := NewRulebase()
+	addRules(t, rb,
+		mustRule(NewWhitelist("jeans?", "jeans")),
+		mustRule(NewBlacklist("denim.*jeans?", "jeans")))
+	if pairs := FindSubsumed(rb.Active()); len(pairs) != 0 {
+		t.Fatalf("cross-kind subsumption must not be reported: %v", pairs)
+	}
+}
+
+func TestFindDuplicates(t *testing.T) {
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("jeans?", "jeans"))
+	b := mustRule(NewWhitelist("jeans?", "jeans"))
+	c := mustRule(NewAttrExists("isbn", "books"))
+	d := mustRule(NewAttrExists("ISBN", "books")) // attr case-insensitive
+	addRules(t, rb, a, b, c, d)
+	dups := FindDuplicates(rb.Active())
+	if len(dups) != 2 {
+		t.Fatalf("want 2 duplicate pairs, got %v", dups)
+	}
+	for _, dp := range dups {
+		keep, drop := rb.Get(dp.KeepID), rb.Get(dp.DropID)
+		if keep.CreatedAt >= drop.CreatedAt {
+			t.Fatalf("older rule must be kept: %+v", dp)
+		}
+	}
+}
+
+func TestFindOverlapsPaperPair(t *testing.T) {
+	// The §4 example pair of significantly overlapping rules.
+	cat := catalog.New(catalog.Config{Seed: 33, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 4000, Epoch: 1, OnlyTypes: []string{"abrasive wheels & discs", "rings", "jeans"}})
+	di := NewDataIndex(items)
+
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("(abrasive|sand(er|ing))[ -](wheels?|discs?)", "abrasive wheels & discs"))
+	b := mustRule(NewWhitelist("abrasive.*(wheels?|discs?)", "abrasive wheels & discs"))
+	unrelated := mustRule(NewWhitelist("rings?", "rings"))
+	addRules(t, rb, a, b, unrelated)
+
+	overlaps := FindOverlaps(rb.Active(), di, 0.1)
+	found := false
+	for _, o := range overlaps {
+		if (o.AID == a.ID && o.BID == b.ID) || (o.AID == b.ID && o.BID == a.ID) {
+			found = true
+			if o.SharedItems == 0 || o.Jaccard <= 0 {
+				t.Fatalf("degenerate overlap: %+v", o)
+			}
+		}
+		if o.AID == unrelated.ID || o.BID == unrelated.ID {
+			t.Fatalf("unrelated rule reported: %+v", o)
+		}
+	}
+	if !found {
+		t.Fatalf("expected the abrasive pair to overlap; got %v", overlaps)
+	}
+}
+
+func TestFindOverlapsThreshold(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 34, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 1000, Epoch: 0, OnlyTypes: []string{"jeans"}})
+	di := NewDataIndex(items)
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("jeans?", "jeans"))
+	b := mustRule(NewWhitelist("denim.*jeans?", "jeans"))
+	addRules(t, rb, a, b)
+	all := FindOverlaps(rb.Active(), di, 0.0)
+	if len(all) == 0 {
+		t.Fatal("jeans rules should overlap at threshold 0")
+	}
+	none := FindOverlaps(rb.Active(), di, 1.01)
+	if len(none) != 0 {
+		t.Fatalf("impossible threshold should yield nothing: %v", none)
+	}
+}
+
+func TestFindStale(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 35, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 1500, Epoch: 0, OnlyTypes: []string{"jeans", "rings"}})
+	di := NewDataIndex(items)
+
+	rb := NewRulebase()
+	live := mustRule(NewWhitelist("jeans?", "jeans"))
+	dead := mustRule(NewWhitelist("telegraph machines?", "telegraphs"))
+	pants := mustRule(NewWhitelist("pants?", "pants"))
+	addRules(t, rb, live, dead, pants)
+
+	// Taxonomy after the §4 split: "pants" no longer exists.
+	valid := map[string]bool{"jeans": true, "rings": true, "telegraphs": true, "work pants": true}
+	stale := FindStale(rb.Active(), di, valid)
+	reasons := map[string]string{}
+	for _, s := range stale {
+		reasons[s.RuleID] = s.Reason
+	}
+	if _, ok := reasons[live.ID]; ok {
+		t.Fatal("live rule flagged stale")
+	}
+	if r, ok := reasons[dead.ID]; !ok || !strings.Contains(r, "no item") {
+		t.Fatalf("dead-vocabulary rule not flagged: %v", reasons)
+	}
+	if r, ok := reasons[pants.ID]; !ok || !strings.Contains(r, "taxonomy") {
+		t.Fatalf("taxonomy-split rule not flagged: %v", reasons)
+	}
+}
+
+func TestConsolidateWhitelists(t *testing.T) {
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("(denim)", "jeans"))
+	b := mustRule(NewWhitelist("(carpenter)", "jeans"))
+	cOther := mustRule(NewWhitelist("(denim) jeans?", "jeans")) // different tail: own group
+	addRules(t, rb, a, b, cOther)
+
+	cons := ConsolidateWhitelists(rb.Active())
+	if len(cons) != 1 {
+		t.Fatalf("want one consolidation, got %d", len(cons))
+	}
+	merged := cons[0].MergedRule
+	if merged.TargetType != "jeans" {
+		t.Fatalf("bad target: %s", merged.TargetType)
+	}
+	if len(cons[0].SourceIDs) != 2 {
+		t.Fatalf("sources = %v", cons[0].SourceIDs)
+	}
+	// Merged rule must match whatever either source matched.
+	for _, title := range []string{"denim jacket", "carpenter tools"} {
+		if !merged.Matches(item(title, nil)) {
+			t.Fatalf("merged rule misses %q", title)
+		}
+	}
+	// Split recovers sources.
+	back := SplitConsolidated(merged)
+	if len(back) != 2 || back[0] != cons[0].SourceIDs[0] {
+		t.Fatalf("split lost provenance: %v", back)
+	}
+	if SplitConsolidated(a) != nil {
+		t.Fatal("non-consolidated rule should not split")
+	}
+}
+
+func TestConsolidateSharedTail(t *testing.T) {
+	rb := NewRulebase()
+	a := mustRule(NewWhitelist("(usb) cable", "computer cables"))
+	b := mustRule(NewWhitelist("(hdmi) cable", "computer cables"))
+	c := mustRule(NewWhitelist("(monitor) cord", "computer cables")) // different tail
+	addRules(t, rb, a, b, c)
+	cons := ConsolidateWhitelists(rb.Active())
+	if len(cons) != 1 {
+		t.Fatalf("want one consolidation (cable tail), got %d", len(cons))
+	}
+	m := cons[0].MergedRule
+	if !m.Matches(item("braided usb cable", nil)) || !m.Matches(item("hdmi cable 6ft", nil)) {
+		t.Fatal("merged rule lost coverage")
+	}
+	if m.Matches(item("monitor cord", nil)) {
+		t.Fatal("merged rule absorbed a different tail")
+	}
+}
+
+func TestCheckOrderIndependenceHolds(t *testing.T) {
+	items, rules := corpusAndRules(t, 150)
+	rep := CheckOrderIndependence(rules, items, randx.New(5), 30)
+	if !rep.Holds {
+		t.Fatalf("staged semantics must be order independent: %s", rep.Witness)
+	}
+	if rep.PermutationsTried < 2 {
+		t.Fatal("checker did not try permutations")
+	}
+}
+
+func TestCheckOrderIndependenceExhaustiveSmall(t *testing.T) {
+	_, rules := corpusAndRules(t, 0)
+	small := rules[:4]
+	cat := catalog.New(catalog.Config{Seed: 36, NumTypes: 40})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 50, Epoch: 0})
+	rep := CheckOrderIndependence(small, items, randx.New(6), 0)
+	if !rep.Holds {
+		t.Fatalf("violation: %s", rep.Witness)
+	}
+	if rep.PermutationsTried != 24+1 {
+		t.Fatalf("exhaustive check should try 4!=24 permutations plus baseline, got %d", rep.PermutationsTried)
+	}
+}
+
+func TestFindConflicts(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 37, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 2000, Epoch: 0, OnlyTypes: []string{"jeans", "rings"}})
+	di := NewDataIndex(items)
+
+	rb := NewRulebase()
+	w := mustRule(NewWhitelist("jeans?", "jeans"))
+	bl := mustRule(NewBlacklist("denim.*jeans?", "jeans"))
+	harmless := mustRule(NewBlacklist("toy rings?", "jeans"))
+	addRules(t, rb, w, bl, harmless)
+
+	conflicts := FindConflicts(rb.Active(), di)
+	if len(conflicts) == 0 {
+		t.Fatal("denim jeans titles should conflict")
+	}
+	c0 := conflicts[0]
+	if c0.WhitelistID != w.ID || c0.BlacklistID != bl.ID || c0.Items == 0 || c0.Example == "" {
+		t.Fatalf("bad conflict: %+v", c0)
+	}
+	for _, c := range conflicts {
+		if c.BlacklistID == harmless.ID {
+			t.Fatal("non-overlapping blacklist reported")
+		}
+	}
+}

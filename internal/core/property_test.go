@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+// TestRulebaseStateMachineProperty drives the rulebase with random action
+// sequences and checks the structural invariants that must hold after any
+// history: the audit log length equals the version, active ∪ disabled ∪
+// retired partitions the rules, retired rules never return, and IDs stay
+// unique.
+func TestRulebaseStateMachineProperty(t *testing.T) {
+	f := func(seed uint64, nActions uint8) bool {
+		r := randx.New(seed)
+		rb := NewRulebase()
+		var ids []string
+		mutations := uint64(0)
+		retired := map[string]bool{}
+		sources := []string{"rings?", "jeans?", "denim.*jeans?", "(motor | engine) oils?"}
+		for i := 0; i < int(nActions); i++ {
+			switch r.Intn(4) {
+			case 0: // add
+				rule, err := NewWhitelist(sources[r.Intn(len(sources))], "t")
+				if err != nil {
+					return false
+				}
+				id, err := rb.Add(rule, "w")
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+				mutations++
+			case 1: // disable
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[r.Intn(len(ids))]
+				wasActive := rb.Get(id).Status == Active
+				if err := rb.Disable(id, "w", ""); err == nil && wasActive {
+					mutations++
+				}
+			case 2: // enable
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[r.Intn(len(ids))]
+				wasDisabled := rb.Get(id).Status == Disabled
+				if err := rb.Enable(id, "w", ""); err == nil && wasDisabled {
+					mutations++
+				}
+			case 3: // retire
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[r.Intn(len(ids))]
+				if rb.Get(id).Status != Retired {
+					if err := rb.Retire(id, "w", ""); err == nil {
+						retired[id] = true
+						mutations++
+					}
+				}
+			}
+		}
+		// Invariants.
+		if rb.Version() != mutations {
+			return false
+		}
+		if uint64(len(rb.Audit())) != mutations {
+			return false
+		}
+		byStatus := rb.CountByStatus()
+		if byStatus[Active]+byStatus[Disabled]+byStatus[Retired] != rb.Len() {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, rule := range rb.All() {
+			if seen[rule.ID] {
+				return false
+			}
+			seen[rule.ID] = true
+		}
+		for id := range retired {
+			if rb.Get(id).Status != Retired {
+				return false // retirement must be permanent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerdictMonotonicityProperty: adding a whitelist rule never removes an
+// existing final type unless that rule is a blacklist/constraint; adding a
+// blacklist can only shrink the final set.
+func TestVerdictMonotonicityProperty(t *testing.T) {
+	base := []*Rule{
+		mustRule(NewWhitelist("rings?", "rings")),
+		mustRule(NewWhitelist("jeans?", "jeans")),
+	}
+	extraWL := mustRule(NewWhitelist("diamond", "rings"))
+	extraBL := mustRule(NewBlacklist("toy", "rings"))
+
+	vocab := []string{"ring", "rings", "jeans", "diamond", "toy", "x", "y"}
+	f := func(seed uint64, n uint8) bool {
+		r := randx.New(seed)
+		tokens := make([]string, int(n)%8)
+		for i := range tokens {
+			tokens[i] = vocab[r.Intn(len(vocab))]
+		}
+		it := item(join(tokens), nil)
+
+		before := NewSequentialExecutor(base).Apply(it).FinalTypes()
+		withWL := NewSequentialExecutor(append(append([]*Rule{}, base...), extraWL)).Apply(it).FinalTypes()
+		withBL := NewSequentialExecutor(append(append([]*Rule{}, base...), extraBL)).Apply(it).FinalTypes()
+
+		// Whitelist extension: superset of final types.
+		beforeSet := map[string]bool{}
+		for _, ty := range before {
+			beforeSet[ty] = true
+		}
+		wlSet := map[string]bool{}
+		for _, ty := range withWL {
+			wlSet[ty] = true
+		}
+		for ty := range beforeSet {
+			if !wlSet[ty] {
+				return false
+			}
+		}
+		// Blacklist extension: subset of final types.
+		blSet := map[string]bool{}
+		for _, ty := range withBL {
+			blSet[ty] = true
+		}
+		for ty := range blSet {
+			if !beforeSet[ty] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedExecutorEquivalenceWithGuardsAndRestrict extends the executor
+// equivalence property to the newer rule kinds.
+func TestIndexedExecutorEquivalenceWithGuardsAndRestrict(t *testing.T) {
+	guarded := mustRule(NewBlacklist("apple", "smart phones"))
+	guarded, _ = guarded.WithGuards(Guard{"Price", "<", "100"})
+	rules := []*Rule{
+		mustRule(NewWhitelist("(phone | smartphone)s?", "smart phones")),
+		guarded,
+		mustRule(NewTypeRestrict("(ssd | ram)", []string{"laptop computers", "desktop computers"})),
+		mustRule(NewWhitelist("laptops?", "laptop computers")),
+	}
+	seq := NewSequentialExecutor(rules)
+	idx := NewIndexedExecutor(rules)
+	vocab := []string{"apple", "phone", "smartphone", "laptop", "ssd", "ram", "case", "x"}
+	prices := []string{"9.99", "499.00", ""}
+	r := randx.New(99)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(6)
+		tokens := make([]string, n)
+		for i := range tokens {
+			tokens[i] = vocab[r.Intn(len(vocab))]
+		}
+		attrs := map[string]string{}
+		if p := prices[r.Intn(len(prices))]; p != "" {
+			attrs["Price"] = p
+		}
+		it := item(join(tokens), attrs)
+		if !VerdictsEqual(seq.Apply(it), idx.Apply(it)) {
+			t.Fatalf("executors disagree on %q attrs %v", it.Title(), attrs)
+		}
+	}
+}

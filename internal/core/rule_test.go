@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func item(title string, attrs map[string]string) *catalog.Item {
+	a := map[string]string{"Title": title}
+	for k, v := range attrs {
+		a[k] = v
+	}
+	return &catalog.Item{ID: "t1", Attrs: a}
+}
+
+func TestNewWhitelistMatches(t *testing.T) {
+	r, err := NewWhitelist("rings?", "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Matches(item("Diamond Accent Ring", nil)) {
+		t.Error("whitelist should match ring title")
+	}
+	if r.Matches(item("Gold Necklace", nil)) {
+		t.Error("whitelist should not match necklace")
+	}
+	if !strings.Contains(r.String(), "rings?") {
+		t.Errorf("String() should show the source: %s", r)
+	}
+}
+
+func TestNewBlacklistString(t *testing.T) {
+	r, err := NewBlacklist("toy rings?", "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "NOT rings") {
+		t.Errorf("blacklist String() should show negation: %s", r)
+	}
+}
+
+func TestPatternRuleValidation(t *testing.T) {
+	if _, err := NewWhitelist("", "rings"); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if _, err := NewWhitelist("rings?", ""); err == nil {
+		t.Error("empty target should fail")
+	}
+	if _, err := NewWhitelist(`(motor | \syn) oils?`, "motor oil"); err == nil {
+		t.Error("unexpanded \\syn pattern must not deploy as a rule")
+	}
+}
+
+func TestAttrExistsRule(t *testing.T) {
+	r, err := NewAttrExists("isbn", "books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Matches(item("Some Great Novel", map[string]string{"isbn": "9781111111111"})) {
+		t.Error("attr-exists should fire on isbn")
+	}
+	if r.Matches(item("Some Great Novel", nil)) {
+		t.Error("attr-exists must not fire without the attribute")
+	}
+	if _, err := NewAttrExists("", "books"); err == nil {
+		t.Error("empty attr should fail")
+	}
+}
+
+func TestAttrValueRule(t *testing.T) {
+	r, err := NewAttrValue("Brand Name", "apex", []string{"laptop computers", "smart phones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Matches(item("something", map[string]string{"Brand Name": "Apex"})) {
+		t.Error("attr-value match should be case-insensitive")
+	}
+	if r.Matches(item("something", map[string]string{"Brand Name": "nimbus"})) {
+		t.Error("attr-value must not fire on other values")
+	}
+	if _, err := NewAttrValue("Brand Name", "apex", nil); err == nil {
+		t.Error("attr-value without allowed types should fail")
+	}
+}
+
+func TestFilterRuleNeverItemMatches(t *testing.T) {
+	r, err := NewFilter("vitamins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Matches(item("daily vitamins 90 count", nil)) {
+		t.Error("filter rules act on predictions, not items")
+	}
+}
+
+func TestRuleJSONRoundTrip(t *testing.T) {
+	rules := []*Rule{
+		mustRule(NewWhitelist("(motor | engine) oils?", "motor oil")),
+		mustRule(NewBlacklist("olive oils?", "motor oil")),
+		mustRule(NewAttrExists("isbn", "books")),
+		mustRule(NewAttrValue("Brand Name", "apex", []string{"laptop computers"})),
+		mustRule(NewFilter("vitamins")),
+	}
+	rules[0].Author = "ana"
+	rules[0].Provenance = "analyst"
+	rules[0].Confidence = 0.93
+	rules[0].Status = Disabled
+
+	for _, r := range rules {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Rule
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", r, err)
+		}
+		if back.Kind != r.Kind || back.TargetType != r.TargetType ||
+			back.Author != r.Author || back.Status != r.Status ||
+			back.Confidence != r.Confidence {
+			t.Fatalf("round trip changed rule: %+v vs %+v", back, r)
+		}
+		if r.IsPatternKind() {
+			it := item("castrol motor oil 5qt", nil)
+			if back.Matches(it) != r.Matches(it) {
+				t.Fatal("round trip changed pattern semantics")
+			}
+		}
+	}
+}
+
+func TestRuleJSONRejectsBadKind(t *testing.T) {
+	var r Rule
+	if err := json.Unmarshal([]byte(`{"kind":"bogus","status":"active"}`), &r); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"whitelist","status":"bogus"}`), &r); err == nil {
+		t.Fatal("unknown status should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"whitelist","status":"active","source":"((("}`), &r); err == nil {
+		t.Fatal("unparseable source should fail")
+	}
+}
+
+func TestKindAndStatusStrings(t *testing.T) {
+	if Whitelist.String() != "whitelist" || Filter.String() != "filter" {
+		t.Error("kind strings wrong")
+	}
+	if Active.String() != "active" || Retired.String() != "retired" {
+		t.Error("status strings wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") || !strings.Contains(Status(99).String(), "99") {
+		t.Error("unknown values should render numerically")
+	}
+}
+
+func mustRule(r *Rule, err error) *Rule {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AuditEntry records one management action on the rulebase. The audit log is
+// what lets a first-responder analyst answer "what changed before accuracy
+// degraded?" (§2.2's ongoing-system requirement).
+type AuditEntry struct {
+	Version uint64 `json:"version"`
+	Action  string `json:"action"` // add / update / disable / enable / retire
+	RuleID  string `json:"rule_id"`
+	Actor   string `json:"actor"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Rulebase is a thread-safe, versioned repository of rules: the system of
+// record that §4 argues industrial systems lack ("tens of thousands of rules
+// managed today in an ad-hoc fashion"). Every mutation bumps a logical clock
+// and appends to the audit log.
+type Rulebase struct {
+	mu      sync.RWMutex
+	rules   map[string]*Rule
+	order   []string // insertion order for deterministic iteration
+	version uint64
+	nextID  int
+	audit   []AuditEntry
+}
+
+// NewRulebase returns an empty rulebase.
+func NewRulebase() *Rulebase {
+	return &Rulebase{rules: map[string]*Rule{}}
+}
+
+// Version returns the current logical clock value.
+func (rb *Rulebase) Version() uint64 {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	return rb.version
+}
+
+// Len returns the total number of rules (all statuses).
+func (rb *Rulebase) Len() int {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	return len(rb.rules)
+}
+
+// Add inserts a rule, assigning its ID and clock stamps. The actor is
+// recorded in the audit log and as the rule author when the rule has none.
+func (rb *Rulebase) Add(r *Rule, actor string) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("core: nil rule")
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if r.ID != "" {
+		if _, exists := rb.rules[r.ID]; exists {
+			return "", fmt.Errorf("core: rule id %q already present", r.ID)
+		}
+	} else {
+		rb.nextID++
+		r.ID = fmt.Sprintf("R%06d", rb.nextID)
+	}
+	rb.version++
+	r.CreatedAt = rb.version
+	r.UpdatedAt = rb.version
+	if r.Author == "" {
+		r.Author = actor
+	}
+	rb.rules[r.ID] = r
+	rb.order = append(rb.order, r.ID)
+	rb.audit = append(rb.audit, AuditEntry{rb.version, "add", r.ID, actor, r.String()})
+	return r.ID, nil
+}
+
+// AddAll inserts a batch of rules, stopping at the first error.
+func (rb *Rulebase) AddAll(rules []*Rule, actor string) error {
+	for _, r := range rules {
+		if _, err := rb.Add(r, actor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the rule with the given id, or nil.
+func (rb *Rulebase) Get(id string) *Rule {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	return rb.rules[id]
+}
+
+// setStatus transitions a rule's lifecycle state.
+func (rb *Rulebase) setStatus(id string, st Status, action, actor, note string) error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	r, ok := rb.rules[id]
+	if !ok {
+		return fmt.Errorf("core: no rule %q", id)
+	}
+	if r.Status == Retired && st != Retired {
+		return fmt.Errorf("core: rule %q is retired and cannot be %s", id, action)
+	}
+	if r.Status == st {
+		return nil
+	}
+	rb.version++
+	r.Status = st
+	r.UpdatedAt = rb.version
+	rb.audit = append(rb.audit, AuditEntry{rb.version, action, id, actor, note})
+	return nil
+}
+
+// Disable turns a rule off — the per-rule "scale down" of §3.2 ("if that
+// rule misclassifies widely, we can simply disable it, with minimal impacts
+// on the rest of the system").
+func (rb *Rulebase) Disable(id, actor, note string) error {
+	return rb.setStatus(id, Disabled, "disable", actor, note)
+}
+
+// Enable re-activates a disabled rule ("restore the system to the previous
+// state quickly").
+func (rb *Rulebase) Enable(id, actor, note string) error {
+	return rb.setStatus(id, Active, "enable", actor, note)
+}
+
+// Retire permanently removes a rule from execution, keeping it for audit.
+func (rb *Rulebase) Retire(id, actor, note string) error {
+	return rb.setStatus(id, Retired, "retire", actor, note)
+}
+
+// DisableWhere disables every active rule for which pred returns true and
+// returns the affected IDs — the bulk "scale down the bad parts" operation
+// (e.g. all rules targeting clothes types when clothes classification goes
+// bad). The returned IDs can be passed to EnableAll to restore.
+func (rb *Rulebase) DisableWhere(pred func(*Rule) bool, actor, note string) []string {
+	rb.mu.Lock()
+	ids := make([]string, 0)
+	for _, id := range rb.order {
+		r := rb.rules[id]
+		if r.Status == Active && pred(r) {
+			ids = append(ids, id)
+		}
+	}
+	rb.mu.Unlock()
+	for _, id := range ids {
+		_ = rb.Disable(id, actor, note)
+	}
+	return ids
+}
+
+// EnableAll re-enables the given rule IDs, ignoring retired rules.
+func (rb *Rulebase) EnableAll(ids []string, actor, note string) {
+	for _, id := range ids {
+		_ = rb.Enable(id, actor, note)
+	}
+}
+
+// UpdateConfidence records a fresh precision estimate for a rule.
+func (rb *Rulebase) UpdateConfidence(id string, conf float64, actor string) error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	r, ok := rb.rules[id]
+	if !ok {
+		return fmt.Errorf("core: no rule %q", id)
+	}
+	rb.version++
+	r.Confidence = conf
+	r.UpdatedAt = rb.version
+	rb.audit = append(rb.audit, AuditEntry{rb.version, "update", id, actor, fmt.Sprintf("confidence=%.3f", conf)})
+	return nil
+}
+
+// Active returns active rules, optionally filtered by kinds (empty = all
+// kinds), in insertion order.
+func (rb *Rulebase) Active(kinds ...Kind) []*Rule {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []*Rule
+	for _, id := range rb.order {
+		r := rb.rules[id]
+		if r.Status != Active {
+			continue
+		}
+		if len(want) > 0 && !want[r.Kind] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// All returns every rule regardless of status, in insertion order.
+func (rb *Rulebase) All() []*Rule {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	out := make([]*Rule, 0, len(rb.order))
+	for _, id := range rb.order {
+		out = append(out, rb.rules[id])
+	}
+	return out
+}
+
+// ByTarget returns active rules grouped by target type.
+func (rb *Rulebase) ByTarget() map[string][]*Rule {
+	out := map[string][]*Rule{}
+	for _, r := range rb.Active() {
+		if r.TargetType != "" {
+			out[r.TargetType] = append(out[r.TargetType], r)
+		}
+	}
+	return out
+}
+
+// CountByStatus tallies rules per lifecycle status.
+func (rb *Rulebase) CountByStatus() map[Status]int {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	out := map[Status]int{}
+	for _, r := range rb.rules {
+		out[r.Status]++
+	}
+	return out
+}
+
+// Audit returns a copy of the audit log.
+func (rb *Rulebase) Audit() []AuditEntry {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	return append([]AuditEntry(nil), rb.audit...)
+}
+
+// Stats summarizes the rulebase the way §3.3 reports Chimera's: rule counts
+// by kind and status, and the number of distinct target types.
+type Stats struct {
+	Total       int
+	ByKind      map[string]int
+	ByStatus    map[string]int
+	TargetTypes int
+}
+
+// Stats computes summary statistics.
+func (rb *Rulebase) Stats() Stats {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	s := Stats{ByKind: map[string]int{}, ByStatus: map[string]int{}}
+	targets := map[string]bool{}
+	for _, r := range rb.rules {
+		s.Total++
+		s.ByKind[r.Kind.String()]++
+		s.ByStatus[r.Status.String()]++
+		if r.TargetType != "" {
+			targets[r.TargetType] = true
+		}
+	}
+	s.TargetTypes = len(targets)
+	return s
+}
+
+// rulebaseJSON is the serialized form.
+type rulebaseJSON struct {
+	Version uint64       `json:"version"`
+	NextID  int          `json:"next_id"`
+	Rules   []*Rule      `json:"rules"`
+	Audit   []AuditEntry `json:"audit"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (rb *Rulebase) MarshalJSON() ([]byte, error) {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	rules := make([]*Rule, 0, len(rb.order))
+	for _, id := range rb.order {
+		rules = append(rules, rb.rules[id])
+	}
+	return json.Marshal(rulebaseJSON{
+		Version: rb.version, NextID: rb.nextID, Rules: rules, Audit: rb.audit,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (rb *Rulebase) UnmarshalJSON(data []byte) error {
+	var j rulebaseJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.rules = make(map[string]*Rule, len(j.Rules))
+	rb.order = rb.order[:0]
+	for _, r := range j.Rules {
+		if _, dup := rb.rules[r.ID]; dup {
+			return fmt.Errorf("core: duplicate rule id %q in serialized rulebase", r.ID)
+		}
+		rb.rules[r.ID] = r
+		rb.order = append(rb.order, r.ID)
+	}
+	rb.version = j.Version
+	rb.nextID = j.NextID
+	rb.audit = j.Audit
+	return nil
+}
+
+// TargetsSorted returns the sorted list of distinct active target types.
+func (rb *Rulebase) TargetsSorted() []string {
+	set := map[string]bool{}
+	for _, r := range rb.Active() {
+		if r.TargetType != "" {
+			set[r.TargetType] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func newTestRulebase(t *testing.T) *Rulebase {
+	t.Helper()
+	rb := NewRulebase()
+	add := func(r *Rule, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rb.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewWhitelist("rings?", "rings"))
+	add(NewWhitelist("diamond.*trio sets?", "rings"))
+	add(NewBlacklist("toy rings?", "rings"))
+	add(NewAttrExists("isbn", "books"))
+	add(NewAttrValue("Brand Name", "apex", []string{"laptop computers", "smart phones"}))
+	add(NewFilter("vitamins"))
+	return rb
+}
+
+func TestAddAssignsIDsAndClock(t *testing.T) {
+	rb := newTestRulebase(t)
+	if rb.Len() != 6 {
+		t.Fatalf("len = %d", rb.Len())
+	}
+	if rb.Version() != 6 {
+		t.Fatalf("version = %d", rb.Version())
+	}
+	r := rb.Active()[0]
+	if r.ID == "" || r.CreatedAt == 0 || r.Author != "ana" {
+		t.Fatalf("metadata not stamped: %+v", r)
+	}
+}
+
+func TestAddDuplicateIDRejected(t *testing.T) {
+	rb := newTestRulebase(t)
+	dup := mustRule(NewWhitelist("rings?", "rings"))
+	dup.ID = rb.Active()[0].ID
+	if _, err := rb.Add(dup, "ana"); err == nil {
+		t.Fatal("duplicate id should be rejected")
+	}
+	if _, err := rb.Add(nil, "ana"); err == nil {
+		t.Fatal("nil rule should be rejected")
+	}
+}
+
+func TestDisableEnableRetire(t *testing.T) {
+	rb := newTestRulebase(t)
+	id := rb.Active()[0].ID
+	if err := rb.Disable(id, "ana", "misfiring"); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Get(id).Status != Disabled {
+		t.Fatal("rule should be disabled")
+	}
+	if len(rb.Active()) != 5 {
+		t.Fatalf("active = %d, want 5", len(rb.Active()))
+	}
+	if err := rb.Enable(id, "dev", "fixed"); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Get(id).Status != Active {
+		t.Fatal("rule should be active again")
+	}
+	if err := rb.Retire(id, "dev", "superseded"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Enable(id, "dev", "oops"); err == nil {
+		t.Fatal("retired rules must not be re-enabled")
+	}
+	if err := rb.Disable("nope", "ana", ""); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestScaleDownScaleUp(t *testing.T) {
+	rb := newTestRulebase(t)
+	// Scale down everything touching "rings" — the §2.2 drill.
+	ids := rb.DisableWhere(func(r *Rule) bool { return r.TargetType == "rings" }, "ana", "rings degraded")
+	if len(ids) != 3 {
+		t.Fatalf("want 3 rings rules disabled, got %d", len(ids))
+	}
+	for _, r := range rb.Active() {
+		if r.TargetType == "rings" {
+			t.Fatal("active rings rule survived scale-down")
+		}
+	}
+	rb.EnableAll(ids, "dev", "restored")
+	if got := len(rb.Active()); got != 6 {
+		t.Fatalf("restore failed: %d active", got)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	rb := newTestRulebase(t)
+	id := rb.Active()[0].ID
+	_ = rb.Disable(id, "ana", "drill")
+	audit := rb.Audit()
+	if len(audit) != 7 {
+		t.Fatalf("audit entries = %d, want 7", len(audit))
+	}
+	last := audit[len(audit)-1]
+	if last.Action != "disable" || last.RuleID != id || last.Actor != "ana" {
+		t.Fatalf("bad audit entry: %+v", last)
+	}
+	// Versions strictly increase.
+	for i := 1; i < len(audit); i++ {
+		if audit[i].Version <= audit[i-1].Version {
+			t.Fatal("audit versions not increasing")
+		}
+	}
+}
+
+func TestUpdateConfidence(t *testing.T) {
+	rb := newTestRulebase(t)
+	id := rb.Active()[0].ID
+	if err := rb.UpdateConfidence(id, 0.87, "eval"); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Get(id).Confidence != 0.87 {
+		t.Fatal("confidence not updated")
+	}
+	if err := rb.UpdateConfidence("nope", 0.5, "eval"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestActiveKindFilter(t *testing.T) {
+	rb := newTestRulebase(t)
+	wl := rb.Active(Whitelist)
+	if len(wl) != 2 {
+		t.Fatalf("whitelists = %d", len(wl))
+	}
+	both := rb.Active(Whitelist, Blacklist)
+	if len(both) != 3 {
+		t.Fatalf("whitelist+blacklist = %d", len(both))
+	}
+}
+
+func TestByTargetAndTargets(t *testing.T) {
+	rb := newTestRulebase(t)
+	by := rb.ByTarget()
+	if len(by["rings"]) != 3 {
+		t.Fatalf("rings rules = %d", len(by["rings"]))
+	}
+	targets := rb.TargetsSorted()
+	want := []string{"books", "rings", "vitamins"}
+	if len(targets) != 3 || targets[0] != want[0] || targets[2] != want[2] {
+		t.Fatalf("targets = %v", targets)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rb := newTestRulebase(t)
+	s := rb.Stats()
+	if s.Total != 6 || s.ByKind["whitelist"] != 2 || s.TargetTypes != 3 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.ByStatus["active"] != 6 {
+		t.Fatalf("status counts wrong: %+v", s.ByStatus)
+	}
+}
+
+func TestRulebaseJSONRoundTrip(t *testing.T) {
+	rb := newTestRulebase(t)
+	_ = rb.Disable(rb.Active()[0].ID, "ana", "x")
+	data, err := json.Marshal(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Rulebase
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rb.Len() || back.Version() != rb.Version() {
+		t.Fatal("round trip changed counts")
+	}
+	if len(back.Audit()) != len(rb.Audit()) {
+		t.Fatal("audit lost in round trip")
+	}
+	// IDs continue from the serialized counter — no collisions.
+	id, err := back.Add(mustRule(NewWhitelist("jeans?", "jeans")), "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Get(id) == nil {
+		t.Fatal("new rule not retrievable")
+	}
+	for _, r := range back.All() {
+		if r.ID == id && r.CreatedAt <= rb.Version() {
+			t.Fatal("clock did not resume after round trip")
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	rb := newTestRulebase(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch i % 4 {
+				case 0:
+					_, _ = rb.Add(mustRule(NewFilter("vitamins")), "w")
+				case 1:
+					rb.Active()
+				case 2:
+					rb.Stats()
+				case 3:
+					rb.Audit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rb.Len() != 6+8*25 {
+		t.Fatalf("concurrent adds lost: %d", rb.Len())
+	}
+}
+
+func TestInsertionOrderStable(t *testing.T) {
+	rb := newTestRulebase(t)
+	all := rb.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].CreatedAt <= all[i-1].CreatedAt {
+			t.Fatal("All() not in insertion order")
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package crowd simulates the human layer of the paper's systems: crowd
+// workers who verify 〈item, predicted type〉 pairs (§3.3's evaluation stage),
+// and domain analysts who verify rules, label items and answer the §5.1
+// tool's accept/reject questions.
+//
+// Workers are Bernoulli oracles over the catalog's ground truth: each worker
+// has a skill level (probability of answering a verification question
+// correctly), drawn once from a configurable prior. Questions cost budget
+// per worker asked, which is what makes the §4 economics reproducible:
+// evaluating tens of thousands of rules with per-rule samples "incurs
+// prohibitive costs" precisely because each sampled item charges Redundancy
+// units.
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+// ErrBudgetExhausted is returned once the crowd has no budget left.
+var ErrBudgetExhausted = errors.New("crowd: budget exhausted")
+
+// Config parameterizes a simulated crowd.
+type Config struct {
+	Seed       uint64
+	NumWorkers int // default 25
+	// MeanAccuracy is the mean per-worker probability of a correct answer
+	// (default 0.9); AccuracySpread is the half-width of the uniform skill
+	// prior around it (default 0.07).
+	MeanAccuracy   float64
+	AccuracySpread float64
+	// Redundancy is how many workers answer each question; the majority
+	// wins. Default 3.
+	Redundancy int
+	// Budget is the total number of worker-answers available; 0 means
+	// unlimited.
+	Budget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumWorkers == 0 {
+		c.NumWorkers = 25
+	}
+	if c.MeanAccuracy == 0 {
+		c.MeanAccuracy = 0.9
+	}
+	if c.AccuracySpread == 0 {
+		c.AccuracySpread = 0.07
+	}
+	if c.Redundancy == 0 {
+		c.Redundancy = 3
+	}
+	return c
+}
+
+type worker struct {
+	accuracy float64
+}
+
+// Crowd is a budgeted pool of simulated workers.
+type Crowd struct {
+	cfg     Config
+	workers []worker
+	rng     *randx.Rand
+	asked   int // questions asked
+	spent   int // worker-answers charged
+}
+
+// New builds a crowd from cfg.
+func New(cfg Config) *Crowd {
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed).Split("crowd")
+	ws := make([]worker, cfg.NumWorkers)
+	skill := rng.Split("skill")
+	for i := range ws {
+		acc := cfg.MeanAccuracy + (skill.Float64()*2-1)*cfg.AccuracySpread
+		if acc > 0.999 {
+			acc = 0.999
+		}
+		if acc < 0.5 {
+			acc = 0.5
+		}
+		ws[i] = worker{accuracy: acc}
+	}
+	return &Crowd{cfg: cfg, workers: ws, rng: rng.Split("answers")}
+}
+
+// Asked returns the number of questions asked so far.
+func (c *Crowd) Asked() int { return c.asked }
+
+// Spent returns worker-answer units charged so far.
+func (c *Crowd) Spent() int { return c.spent }
+
+// Remaining returns remaining budget, or -1 for unlimited.
+func (c *Crowd) Remaining() int {
+	if c.cfg.Budget == 0 {
+		return -1
+	}
+	return c.cfg.Budget - c.spent
+}
+
+// charge reserves n worker-answers or fails.
+func (c *Crowd) charge(n int) error {
+	if c.cfg.Budget > 0 && c.spent+n > c.cfg.Budget {
+		return fmt.Errorf("%w (spent %d of %d)", ErrBudgetExhausted, c.spent, c.cfg.Budget)
+	}
+	c.spent += n
+	c.asked++
+	return nil
+}
+
+// answer simulates one worker's yes/no answer given the true answer.
+func (c *Crowd) answer(truth bool) bool {
+	w := c.workers[c.rng.Intn(len(c.workers))]
+	if c.rng.Bool(w.accuracy) {
+		return truth
+	}
+	return !truth
+}
+
+// VerifyPair asks the crowd whether predicted is a correct product type for
+// the item (the §3.3 crowdsourced sample evaluation). It returns the
+// majority answer over Redundancy workers.
+func (c *Crowd) VerifyPair(it *catalog.Item, predicted string) (bool, error) {
+	if err := c.charge(c.cfg.Redundancy); err != nil {
+		return false, err
+	}
+	truth := it.TrueType == predicted
+	yes := 0
+	for i := 0; i < c.cfg.Redundancy; i++ {
+		if c.answer(truth) {
+			yes++
+		}
+	}
+	return yes*2 > c.cfg.Redundancy, nil
+}
+
+// VerifyClaim asks the crowd to verify an arbitrary boolean claim whose
+// ground truth the caller supplies (rule-verification tasks, EM pair
+// verification). Majority over Redundancy workers.
+func (c *Crowd) VerifyClaim(truth bool) (bool, error) {
+	if err := c.charge(c.cfg.Redundancy); err != nil {
+		return false, err
+	}
+	yes := 0
+	for i := 0; i < c.cfg.Redundancy; i++ {
+		if c.answer(truth) {
+			yes++
+		}
+	}
+	return yes*2 > c.cfg.Redundancy, nil
+}
+
+// LabelItem asks the crowd to label an item with one of types. Each worker
+// answers the true type with their accuracy, otherwise a uniformly random
+// wrong type; plurality wins, ties broken deterministically by name order.
+func (c *Crowd) LabelItem(it *catalog.Item, types []string) (string, error) {
+	if len(types) == 0 {
+		return "", errors.New("crowd: LabelItem with no candidate types")
+	}
+	if err := c.charge(c.cfg.Redundancy); err != nil {
+		return "", err
+	}
+	votes := map[string]int{}
+	for i := 0; i < c.cfg.Redundancy; i++ {
+		w := c.workers[c.rng.Intn(len(c.workers))]
+		if c.rng.Bool(w.accuracy) {
+			votes[it.TrueType]++
+		} else {
+			votes[types[c.rng.Intn(len(types))]]++
+		}
+	}
+	best, bestN := "", -1
+	names := make([]string, 0, len(votes))
+	for name := range votes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if votes[name] > bestN {
+			best, bestN = name, votes[name]
+		}
+	}
+	return best, nil
+}
+
+// SamplePrecision estimates the precision of a set of 〈item, prediction〉
+// pairs by asking the crowd to verify a sample of size up to n. It returns
+// the estimated precision and the verified sample size. This is the paper's
+// "take one or more samples then evaluate their precision using
+// crowdsourcing" loop.
+func (c *Crowd) SamplePrecision(r *randx.Rand, items []*catalog.Item, preds []string, n int) (float64, int, error) {
+	if len(items) != len(preds) {
+		return 0, 0, errors.New("crowd: items/preds length mismatch")
+	}
+	if len(items) == 0 {
+		return 1, 0, nil
+	}
+	idx := r.Sample(len(items), n)
+	correct := 0
+	for _, i := range idx {
+		ok, err := c.VerifyPair(items[i], preds[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(idx)), len(idx), nil
+}
+
+// ---------------------------------------------------------------------------
+// Analysts
+// ---------------------------------------------------------------------------
+
+// Analyst simulates a domain analyst: a single high-accuracy oracle whose
+// interactions are metered in actions (a proxy for the §5.1 wall-clock
+// minutes: every shown candidate, verified pair or written rule is one
+// action).
+type Analyst struct {
+	Name     string
+	accuracy float64
+	rng      *randx.Rand
+	actions  int
+}
+
+// NewAnalyst creates an analyst with the given answer accuracy (0.97 is the
+// default when accuracy is 0).
+func NewAnalyst(name string, seed uint64, accuracy float64) *Analyst {
+	if accuracy == 0 {
+		accuracy = 0.97
+	}
+	return &Analyst{Name: name, accuracy: accuracy, rng: randx.New(seed).Split("analyst-" + name)}
+}
+
+// Actions returns the number of metered interactions so far.
+func (a *Analyst) Actions() int { return a.actions }
+
+// Verify answers a boolean question with the analyst's accuracy.
+func (a *Analyst) Verify(truth bool) bool {
+	a.actions++
+	if a.rng.Bool(a.accuracy) {
+		return truth
+	}
+	return !truth
+}
+
+// VerifyPair checks a classification pair against ground truth.
+func (a *Analyst) VerifyPair(it *catalog.Item, predicted string) bool {
+	return a.Verify(it.TrueType == predicted)
+}
+
+// Label returns the analyst's label for an item.
+func (a *Analyst) Label(it *catalog.Item, types []string) string {
+	a.actions++
+	if a.rng.Bool(a.accuracy) || len(types) == 0 {
+		return it.TrueType
+	}
+	return types[a.rng.Intn(len(types))]
+}

@@ -1,0 +1,221 @@
+package crowd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+func testItems(t *testing.T, n int) []*catalog.Item {
+	t.Helper()
+	c := catalog.New(catalog.Config{Seed: 11, NumTypes: 60})
+	return c.GenerateBatch(catalog.BatchSpec{Size: n, Epoch: 0})
+}
+
+func TestVerifyPairMostlyCorrect(t *testing.T) {
+	items := testItems(t, 400)
+	c := New(Config{Seed: 1})
+	agree := 0
+	for _, it := range items {
+		ok, err := c.VerifyPair(it, it.TrueType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			agree++
+		}
+	}
+	// Majority-of-3 with ~0.9 workers should be right ~97% of the time.
+	if agree < 370 {
+		t.Fatalf("crowd agreed only %d/400 times on true pairs", agree)
+	}
+}
+
+func TestVerifyPairRejectsWrong(t *testing.T) {
+	items := testItems(t, 400)
+	c := New(Config{Seed: 2})
+	reject := 0
+	for _, it := range items {
+		ok, err := c.VerifyPair(it, "definitely-wrong-type")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			reject++
+		}
+	}
+	if reject < 370 {
+		t.Fatalf("crowd rejected only %d/400 wrong pairs", reject)
+	}
+}
+
+func TestCrowdIsImperfect(t *testing.T) {
+	items := testItems(t, 2000)
+	c := New(Config{Seed: 3, MeanAccuracy: 0.75, AccuracySpread: 0.05})
+	wrong := 0
+	for _, it := range items {
+		ok, _ := c.VerifyPair(it, it.TrueType)
+		if !ok {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("a 0.75-accuracy crowd should sometimes reach a wrong majority")
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	items := testItems(t, 10)
+	c := New(Config{Seed: 4, Redundancy: 3, Budget: 9})
+	for i := 0; i < 3; i++ {
+		if _, err := c.VerifyPair(items[i], items[i].TrueType); err != nil {
+			t.Fatalf("question %d should fit budget: %v", i, err)
+		}
+	}
+	if c.Spent() != 9 || c.Asked() != 3 || c.Remaining() != 0 {
+		t.Fatalf("ledger wrong: spent=%d asked=%d remaining=%d", c.Spent(), c.Asked(), c.Remaining())
+	}
+	if _, err := c.VerifyPair(items[3], items[3].TrueType); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	c := New(Config{Seed: 5})
+	if c.Remaining() != -1 {
+		t.Fatalf("unlimited budget should report -1, got %d", c.Remaining())
+	}
+}
+
+func TestVerifyClaim(t *testing.T) {
+	c := New(Config{Seed: 6})
+	agreeTrue, agreeFalse := 0, 0
+	for i := 0; i < 300; i++ {
+		if ok, _ := c.VerifyClaim(true); ok {
+			agreeTrue++
+		}
+		if ok, _ := c.VerifyClaim(false); !ok {
+			agreeFalse++
+		}
+	}
+	if agreeTrue < 280 || agreeFalse < 280 {
+		t.Fatalf("claim verification unreliable: %d/%d", agreeTrue, agreeFalse)
+	}
+}
+
+func TestLabelItem(t *testing.T) {
+	items := testItems(t, 300)
+	c := New(Config{Seed: 7, Redundancy: 5})
+	types := []string{"rings", "jeans", "books", "motor oil"}
+	correct := 0
+	for _, it := range items {
+		lbl, err := c.LabelItem(it, types)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lbl == it.TrueType {
+			correct++
+		}
+	}
+	if correct < 260 {
+		t.Fatalf("plurality labeling too weak: %d/300", correct)
+	}
+}
+
+func TestLabelItemNoTypes(t *testing.T) {
+	items := testItems(t, 1)
+	c := New(Config{Seed: 8})
+	if _, err := c.LabelItem(items[0], nil); err == nil {
+		t.Fatal("expected error for empty type list")
+	}
+}
+
+func TestSamplePrecision(t *testing.T) {
+	items := testItems(t, 500)
+	preds := make([]string, len(items))
+	// 80% correct predictions.
+	for i, it := range items {
+		if i%5 == 0 {
+			preds[i] = "wrong-type"
+		} else {
+			preds[i] = it.TrueType
+		}
+	}
+	c := New(Config{Seed: 9})
+	p, n, err := c.SamplePrecision(randx.New(10), items, preds, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("sample size %d, want 200", n)
+	}
+	if p < 0.7 || p > 0.9 {
+		t.Fatalf("estimated precision %v, want ~0.8", p)
+	}
+}
+
+func TestSamplePrecisionEmpty(t *testing.T) {
+	c := New(Config{Seed: 10})
+	p, n, err := c.SamplePrecision(randx.New(1), nil, nil, 50)
+	if err != nil || p != 1 || n != 0 {
+		t.Fatalf("empty result set should be vacuously precise: %v %v %v", p, n, err)
+	}
+}
+
+func TestSamplePrecisionMismatch(t *testing.T) {
+	items := testItems(t, 2)
+	c := New(Config{Seed: 11})
+	if _, _, err := c.SamplePrecision(randx.New(1), items, []string{"x"}, 5); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestAnalystVerifyAndActions(t *testing.T) {
+	a := NewAnalyst("ana", 1, 0)
+	right := 0
+	for i := 0; i < 500; i++ {
+		if a.Verify(true) {
+			right++
+		}
+	}
+	if right < 470 {
+		t.Fatalf("analyst accuracy too low: %d/500", right)
+	}
+	if a.Actions() != 500 {
+		t.Fatalf("actions = %d, want 500", a.Actions())
+	}
+}
+
+func TestAnalystLabel(t *testing.T) {
+	items := testItems(t, 200)
+	a := NewAnalyst("ana", 2, 0.97)
+	correct := 0
+	for _, it := range items {
+		if a.Label(it, []string{"rings", "jeans"}) == it.TrueType {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("analyst labeling too weak: %d/200", correct)
+	}
+}
+
+func TestCrowdDeterminism(t *testing.T) {
+	items := testItems(t, 50)
+	run := func() []bool {
+		c := New(Config{Seed: 42})
+		out := make([]bool, len(items))
+		for i, it := range items {
+			out[i], _ = c.VerifyPair(it, it.TrueType)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("crowd answers are not deterministic")
+		}
+	}
+}

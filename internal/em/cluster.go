@@ -1,0 +1,115 @@
+package em
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+// This file implements the §5.3 project: "a solution that can execute a set
+// of matching rules efficiently on a cluster of machines, over a large
+// amount of data" — here, blocked candidate generation plus a shared-nothing
+// worker pool (the goroutine stand-in for the cluster).
+
+// Match is one matched record pair found in a corpus.
+type Match struct {
+	I, J   int32 // corpus indices, I < J
+	RuleID string
+}
+
+// MatchCorpus finds all matching pairs within a corpus: candidates come from
+// the blocker (k rare tokens per record), the rule set decides, and the
+// record range is sharded across workers. Results are deterministic
+// (sorted by (I, J)) regardless of worker count.
+func MatchCorpus(rs *RuleSet, items []*catalog.Item, blockKeys, workers int) []Match {
+	if blockKeys <= 0 {
+		blockKeys = 2
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	blocker := NewBlocker(items)
+
+	shards := make([][]Match, workers)
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []Match
+			for i := lo; i < hi; i++ {
+				for _, j := range blocker.Candidates(items[i], blockKeys) {
+					if int32(i) >= j {
+						continue // each unordered pair decided once, by its lower index
+					}
+					if ok, ruleID := rs.Apply(items[i], items[j]); ok {
+						out = append(out, Match{I: int32(i), J: j, RuleID: ruleID})
+					}
+				}
+			}
+			shards[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var all []Match
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].I != all[b].I {
+			return all[a].I < all[b].I
+		}
+		return all[a].J < all[b].J
+	})
+	return all
+}
+
+// Clusters groups corpus indices into connected components of the match
+// graph — the dedup output a downstream catalog-merge consumes.
+func Clusters(n int, matches []Match) [][]int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range matches {
+		ri, rj := find(m.I), find(m.J)
+		if ri != rj {
+			if ri > rj {
+				ri, rj = rj, ri
+			}
+			parent[rj] = ri
+		}
+	}
+	groups := map[int32][]int32{}
+	for i := range parent {
+		root := find(int32(i))
+		groups[root] = append(groups[root], int32(i))
+	}
+	var out [][]int32
+	for _, g := range groups {
+		if len(g) > 1 {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

@@ -1,0 +1,122 @@
+package em
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+// dupCorpus builds a corpus where known duplicates sit at known indices:
+// each positive pair contributes (original, perturbed copy).
+func dupCorpus(t *testing.T, n int) ([]*catalog.Item, [][2]int32) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: 111, NumTypes: 30})
+	pairs := GeneratePairs(cat, randx.New(7), n, 0)
+	var corpus []*catalog.Item
+	var truth [][2]int32
+	for _, p := range pairs {
+		i := int32(len(corpus))
+		corpus = append(corpus, p.A, p.B)
+		truth = append(truth, [2]int32{i, i + 1})
+	}
+	return corpus, truth
+}
+
+func dedupeRules() *RuleSet {
+	return &RuleSet{Rules: []*Rule{
+		NewRule("isbn", AttrEquals("isbn"), QGramJaccard("Title", 3, 0.4)),
+		NewRule("title", QGramJaccard("Title", 3, 0.75)),
+		NewRule("brand-title", AttrEquals("Brand Name"), TokenJaccard("Title", 0.6)),
+	}}
+}
+
+func TestMatchCorpusFindsDuplicates(t *testing.T) {
+	corpus, truth := dupCorpus(t, 150)
+	matches := MatchCorpus(dedupeRules(), corpus, 3, 4)
+	found := map[[2]int32]bool{}
+	for _, m := range matches {
+		found[[2]int32{m.I, m.J}] = true
+		if m.I >= m.J {
+			t.Fatalf("match indices not ordered: %+v", m)
+		}
+		if m.RuleID == "" {
+			t.Fatalf("match without rule attribution: %+v", m)
+		}
+	}
+	hit := 0
+	for _, tp := range truth {
+		if found[tp] {
+			hit++
+		}
+	}
+	if float64(hit)/float64(len(truth)) < 0.6 {
+		t.Fatalf("recall too low: %d/%d known duplicates found", hit, len(truth))
+	}
+}
+
+func TestMatchCorpusWorkerInvariance(t *testing.T) {
+	corpus, _ := dupCorpus(t, 120)
+	rs := dedupeRules()
+	one := MatchCorpus(rs, corpus, 3, 1)
+	eight := MatchCorpus(rs, corpus, 3, 8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("worker count changed the match set: %d vs %d matches", len(one), len(eight))
+	}
+}
+
+func TestMatchCorpusNoSelfOrDoubleCounting(t *testing.T) {
+	corpus, _ := dupCorpus(t, 60)
+	matches := MatchCorpus(dedupeRules(), corpus, 3, 4)
+	seen := map[[2]int32]bool{}
+	for _, m := range matches {
+		key := [2]int32{m.I, m.J}
+		if seen[key] {
+			t.Fatalf("pair reported twice: %+v", m)
+		}
+		seen[key] = true
+		if m.I == m.J {
+			t.Fatalf("self match: %+v", m)
+		}
+	}
+}
+
+func TestClusters(t *testing.T) {
+	matches := []Match{{I: 0, J: 1}, {I: 1, J: 2}, {I: 4, J: 5}}
+	groups := Clusters(7, matches)
+	if len(groups) != 2 {
+		t.Fatalf("want 2 clusters, got %v", groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int32{0, 1, 2}) {
+		t.Fatalf("transitive cluster wrong: %v", groups[0])
+	}
+	if !reflect.DeepEqual(groups[1], []int32{4, 5}) {
+		t.Fatalf("pair cluster wrong: %v", groups[1])
+	}
+}
+
+func TestClustersNoMatches(t *testing.T) {
+	if got := Clusters(5, nil); len(got) != 0 {
+		t.Fatalf("no matches should yield no clusters: %v", got)
+	}
+}
+
+func TestClustersEndToEnd(t *testing.T) {
+	corpus, _ := dupCorpus(t, 80)
+	matches := MatchCorpus(dedupeRules(), corpus, 3, 4)
+	groups := Clusters(len(corpus), matches)
+	if len(groups) == 0 {
+		t.Fatal("no duplicate clusters found")
+	}
+	// Clusters must be disjoint and each index valid.
+	seen := map[int32]bool{}
+	for _, g := range groups {
+		for _, i := range g {
+			if i < 0 || int(i) >= len(corpus) || seen[i] {
+				t.Fatalf("bad cluster member %d", i)
+			}
+			seen[i] = true
+		}
+	}
+}

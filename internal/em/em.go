@@ -1,0 +1,357 @@
+// Package em implements the §6 entity-matching substrate: match rules over
+// record pairs, as used by the WalmartLabs product-matching systems. The
+// paper's example rule is reproduced verbatim in spirit:
+//
+//	[a.isbn = b.isbn] ∧ [jaccard_3g(a.title, b.title) ≥ 0.8] ⇒ a ≈ b
+//
+// A rule is a conjunction of predicates; a rule set matches a pair when any
+// active rule does (disjunction of conjunctions), which makes the rule-set
+// semantics order-independent by construction — the very design question
+// §5.3 poses ("would executing these rules in any order give the same
+// matching result?").
+package em
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+	"repro/internal/textvec"
+	"repro/internal/tokenize"
+)
+
+// Pair is a labeled record pair.
+type Pair struct {
+	A, B *catalog.Item
+	// TrueMatch is the simulation ground truth.
+	TrueMatch bool
+}
+
+// Predicate is one testable condition over a record pair.
+type Predicate struct {
+	// Name is a human-readable rendering, e.g. "a.isbn = b.isbn".
+	Name string
+	Eval func(a, b *catalog.Item) bool
+}
+
+// AttrEquals requires both records to carry attr with equal (case-folded)
+// values.
+func AttrEquals(attr string) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("a.%s = b.%s", attr, attr),
+		Eval: func(a, b *catalog.Item) bool {
+			va, oka := a.Attrs[attr]
+			vb, okb := b.Attrs[attr]
+			return oka && okb && strings.EqualFold(va, vb)
+		},
+	}
+}
+
+// QGramJaccard requires Jaccard similarity of the attr values' character
+// q-grams to reach tau — the paper's jaccard.3g(a.title, b.title) ≥ 0.8.
+func QGramJaccard(attr string, q int, tau float64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("jaccard.%dg(a.%s, b.%s) >= %.2f", q, attr, attr, tau),
+		Eval: func(a, b *catalog.Item) bool {
+			va, oka := a.Attrs[attr]
+			vb, okb := b.Attrs[attr]
+			if !oka || !okb {
+				return false
+			}
+			return textvec.Jaccard(tokenize.NGrams(va, q), tokenize.NGrams(vb, q)) >= tau
+		},
+	}
+}
+
+// TokenJaccard requires token-level Jaccard of attr values to reach tau.
+func TokenJaccard(attr string, tau float64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("jaccard.tok(a.%s, b.%s) >= %.2f", attr, attr, tau),
+		Eval: func(a, b *catalog.Item) bool {
+			va, oka := a.Attrs[attr]
+			vb, okb := b.Attrs[attr]
+			if !oka || !okb {
+				return false
+			}
+			return textvec.Jaccard(tokenize.Tokenize(va), tokenize.Tokenize(vb)) >= tau
+		},
+	}
+}
+
+// NumericWithin requires numeric attr values within tol of each other
+// ("two books match if they agree on the ISBNs and the number of pages").
+func NumericWithin(attr string, tol float64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("|a.%s - b.%s| <= %g", attr, attr, tol),
+		Eval: func(a, b *catalog.Item) bool {
+			fa, oka := numAttr(a, attr)
+			fb, okb := numAttr(b, attr)
+			return oka && okb && math.Abs(fa-fb) <= tol
+		},
+	}
+}
+
+func numAttr(it *catalog.Item, attr string) (float64, bool) {
+	v, ok := it.Attrs[attr]
+	if !ok {
+		return 0, false
+	}
+	fields := strings.Fields(v)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(fields[0], 64)
+	return f, err == nil
+}
+
+// Rule is a conjunction of predicates asserting a match.
+type Rule struct {
+	ID         string
+	Preds      []Predicate
+	Provenance string
+	Disabled   bool
+}
+
+// NewRule builds a rule from predicates.
+func NewRule(id string, preds ...Predicate) *Rule {
+	return &Rule{ID: id, Preds: preds}
+}
+
+// Matches reports whether every predicate holds.
+func (r *Rule) Matches(a, b *catalog.Item) bool {
+	for _, p := range r.Preds {
+		if !p.Eval(a, b) {
+			return false
+		}
+	}
+	return len(r.Preds) > 0
+}
+
+// String renders the rule in the paper's notation.
+func (r *Rule) String() string {
+	names := make([]string, len(r.Preds))
+	for i, p := range r.Preds {
+		names[i] = "[" + p.Name + "]"
+	}
+	return fmt.Sprintf("%s: %s => a ~ b", r.ID, strings.Join(names, " ^ "))
+}
+
+// RuleSet is a disjunction of match rules.
+type RuleSet struct {
+	Rules []*Rule
+}
+
+// Apply reports whether any active rule matches, and which (the first in ID
+// order, for deterministic attribution; since the semantics is a
+// disjunction, attribution order cannot change the verdict).
+func (rs *RuleSet) Apply(a, b *catalog.Item) (bool, string) {
+	ids := make([]*Rule, 0, len(rs.Rules))
+	for _, r := range rs.Rules {
+		if !r.Disabled {
+			ids = append(ids, r)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].ID < ids[j].ID })
+	for _, r := range ids {
+		if r.Matches(a, b) {
+			return true, r.ID
+		}
+	}
+	return false, ""
+}
+
+// Metrics summarizes rule-set quality on labeled pairs.
+type Metrics struct {
+	TP, FP, FN, TN int
+	Precision      float64
+	Recall         float64
+	F1             float64
+	// PerRule counts matches attributed per rule ID.
+	PerRule map[string]int
+}
+
+// Evaluate scores the rule set against labeled pairs.
+func Evaluate(rs *RuleSet, pairs []Pair) Metrics {
+	m := Metrics{PerRule: map[string]int{}}
+	for _, p := range pairs {
+		matched, ruleID := rs.Apply(p.A, p.B)
+		switch {
+		case matched && p.TrueMatch:
+			m.TP++
+		case matched && !p.TrueMatch:
+			m.FP++
+		case !matched && p.TrueMatch:
+			m.FN++
+		default:
+			m.TN++
+		}
+		if matched {
+			m.PerRule[ruleID]++
+		}
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Pair generation (the labeled-pair corpus substitute)
+// ---------------------------------------------------------------------------
+
+// GeneratePairs builds a labeled pair corpus from catalog items: positives
+// are vendor-perturbed duplicates of the same product (tokens dropped,
+// modifiers shuffled, head noun swapped for a synonym — what two vendor
+// feeds for one product look like); negatives mix hard same-type pairs with
+// random cross-type pairs.
+func GeneratePairs(cat *catalog.Catalog, rng *randx.Rand, nPos, nNeg int) []Pair {
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: nPos + 2*nNeg + 16, Epoch: 0})
+	var pairs []Pair
+	r := rng.Split("em-pairs")
+
+	for i := 0; i < nPos && i < len(items); i++ {
+		a := items[i]
+		pairs = append(pairs, Pair{A: a, B: perturb(r, a), TrueMatch: true})
+	}
+
+	// Hard negatives: distinct items of the same type.
+	byType := map[string][]*catalog.Item{}
+	for _, it := range items {
+		byType[it.TrueType] = append(byType[it.TrueType], it)
+	}
+	var typeNames []string
+	for t, list := range byType {
+		if len(list) >= 2 {
+			typeNames = append(typeNames, t)
+		}
+	}
+	sort.Strings(typeNames)
+	added := 0
+	for added < nNeg/2 && len(typeNames) > 0 {
+		list := byType[typeNames[r.Intn(len(typeNames))]]
+		i, j := r.Intn(len(list)), r.Intn(len(list))
+		if i == j || list[i].ID == list[j].ID {
+			continue
+		}
+		pairs = append(pairs, Pair{A: list[i], B: list[j], TrueMatch: false})
+		added++
+	}
+	// Easy negatives: random cross-type pairs.
+	for added < nNeg {
+		a := items[r.Intn(len(items))]
+		b := items[r.Intn(len(items))]
+		if a.ID == b.ID || a.TrueType == b.TrueType {
+			continue
+		}
+		pairs = append(pairs, Pair{A: a, B: b, TrueMatch: false})
+		added++
+	}
+	return pairs
+}
+
+// perturb simulates a second vendor's feed for the same product.
+func perturb(r *randx.Rand, a *catalog.Item) *catalog.Item {
+	tokens := append([]string(nil), a.TitleTokens()...)
+	// Drop up to 20% of tokens (never all).
+	var kept []string
+	for _, tok := range tokens {
+		if len(tokens) > 2 && r.Bool(0.2) {
+			continue
+		}
+		kept = append(kept, tok)
+	}
+	if len(kept) == 0 {
+		kept = tokens
+	}
+	// Occasionally swap two adjacent tokens.
+	if len(kept) > 2 && r.Bool(0.5) {
+		i := r.Intn(len(kept) - 1)
+		kept[i], kept[i+1] = kept[i+1], kept[i]
+	}
+	b := &catalog.Item{
+		ID:       a.ID + "-dup",
+		Attrs:    map[string]string{"Title": strings.Join(kept, " ")},
+		TrueType: a.TrueType,
+		Vendor:   "vendor-dup",
+	}
+	// Key attributes survive the re-listing; cosmetic ones may be dropped.
+	for k, v := range a.Attrs {
+		switch k {
+		case "Title":
+			continue
+		case "isbn", "Number of Pages", "Brand Name":
+			b.Attrs[k] = v
+		default:
+			if r.Bool(0.7) {
+				b.Attrs[k] = v
+			}
+		}
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Blocking
+// ---------------------------------------------------------------------------
+
+// Blocker indexes records by their rarest title token so candidate
+// generation avoids the full cross product — the standard EM blocking step.
+type Blocker struct {
+	items   []*catalog.Item
+	byToken map[string][]int32
+	df      map[string]int
+}
+
+// NewBlocker indexes the corpus.
+func NewBlocker(items []*catalog.Item) *Blocker {
+	b := &Blocker{items: items, byToken: map[string][]int32{}, df: map[string]int{}}
+	for i, it := range items {
+		seen := map[string]bool{}
+		for _, tok := range it.TitleTokens() {
+			if !seen[tok] {
+				seen[tok] = true
+				b.df[tok]++
+				b.byToken[tok] = append(b.byToken[tok], int32(i))
+			}
+		}
+	}
+	return b
+}
+
+// Candidates returns corpus indices sharing the query's rarest token(s); k
+// rare tokens are used (default 2 when k<=0).
+func (b *Blocker) Candidates(it *catalog.Item, k int) []int32 {
+	if k <= 0 {
+		k = 2
+	}
+	tokens := append([]string(nil), tokenize.NormalizeTokens(it.TitleTokens())...)
+	sort.Slice(tokens, func(i, j int) bool {
+		di, dj := b.df[tokens[i]], b.df[tokens[j]]
+		if di != dj {
+			return di < dj
+		}
+		return tokens[i] < tokens[j]
+	})
+	seen := map[int32]bool{}
+	var out []int32
+	for i := 0; i < len(tokens) && i < k; i++ {
+		for _, idx := range b.byToken[tokens[i]] {
+			if !seen[idx] {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,215 @@
+package em
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/randx"
+)
+
+func bookPair(isbnA, isbnB, titleA, titleB, pagesA, pagesB string) (a, b *catalog.Item) {
+	a = &catalog.Item{ID: "a", Attrs: map[string]string{
+		"Title": titleA, "isbn": isbnA, "Number of Pages": pagesA,
+	}}
+	b = &catalog.Item{ID: "b", Attrs: map[string]string{
+		"Title": titleB, "isbn": isbnB, "Number of Pages": pagesB,
+	}}
+	return a, b
+}
+
+func TestPaperBookRule(t *testing.T) {
+	rule := NewRule("book-rule",
+		AttrEquals("isbn"),
+		QGramJaccard("Title", 3, 0.8),
+	)
+	a, b := bookPair("9781", "9781", "the long afternoon novel", "the long afternoon novel", "300", "300")
+	if !rule.Matches(a, b) {
+		t.Fatal("identical books should match")
+	}
+	// Same ISBN but very different titles: two different books can still
+	// match on ISBNs, which is why the title predicate exists.
+	a, b = bookPair("9781", "9781", "the long afternoon", "zebra cookbook deluxe", "300", "290")
+	if rule.Matches(a, b) {
+		t.Fatal("title jaccard should block the coincidental isbn")
+	}
+	a, b = bookPair("9781", "9782", "the long afternoon", "the long afternoon", "300", "300")
+	if rule.Matches(a, b) {
+		t.Fatal("different isbn must not match")
+	}
+}
+
+func TestPaperPagesRule(t *testing.T) {
+	// "two books match if they agree on the ISBNs and the number of pages".
+	rule := NewRule("isbn-pages", AttrEquals("isbn"), NumericWithin("Number of Pages", 0))
+	a, b := bookPair("9781", "9781", "x", "y", "300", "300")
+	if !rule.Matches(a, b) {
+		t.Fatal("isbn+pages should match")
+	}
+	a, b = bookPair("9781", "9781", "x", "y", "300", "301")
+	if rule.Matches(a, b) {
+		t.Fatal("page mismatch must not match at tolerance 0")
+	}
+}
+
+func TestPredicateMissingAttrs(t *testing.T) {
+	a := &catalog.Item{ID: "a", Attrs: map[string]string{"Title": "x"}}
+	b := &catalog.Item{ID: "b", Attrs: map[string]string{"Title": "x"}}
+	if AttrEquals("isbn").Eval(a, b) {
+		t.Fatal("missing attrs must not satisfy equality")
+	}
+	if NumericWithin("Number of Pages", 5).Eval(a, b) {
+		t.Fatal("missing attrs must not satisfy numeric predicate")
+	}
+	if QGramJaccard("isbn", 3, 0.5).Eval(a, b) {
+		t.Fatal("missing attrs must not satisfy jaccard")
+	}
+}
+
+func TestEmptyRuleNeverMatches(t *testing.T) {
+	r := NewRule("empty")
+	a := &catalog.Item{ID: "a", Attrs: map[string]string{"Title": "x"}}
+	if r.Matches(a, a) {
+		t.Fatal("a rule with no predicates must not match everything")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	rule := NewRule("book-rule", AttrEquals("isbn"), QGramJaccard("Title", 3, 0.8))
+	s := rule.String()
+	if !strings.Contains(s, "a.isbn = b.isbn") || !strings.Contains(s, "jaccard.3g") || !strings.Contains(s, "^") {
+		t.Fatalf("paper notation broken: %s", s)
+	}
+}
+
+func TestRuleSetDisjunctionAndDisable(t *testing.T) {
+	rs := &RuleSet{Rules: []*Rule{
+		NewRule("r1", AttrEquals("isbn")),
+		NewRule("r2", TokenJaccard("Title", 0.9)),
+	}}
+	a, b := bookPair("9781", "9781", "totally different", "words entirely", "1", "2")
+	ok, id := rs.Apply(a, b)
+	if !ok || id != "r1" {
+		t.Fatalf("disjunction failed: %v %q", ok, id)
+	}
+	rs.Rules[0].Disabled = true
+	if ok, _ := rs.Apply(a, b); ok {
+		t.Fatal("disabled rule still fired")
+	}
+}
+
+func TestRuleSetOrderIndependence(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 101, NumTypes: 30})
+	pairs := GeneratePairs(cat, randx.New(1), 150, 150)
+	r1 := NewRule("r1", AttrEquals("isbn"), QGramJaccard("Title", 3, 0.6))
+	r2 := NewRule("r2", TokenJaccard("Title", 0.75), AttrEquals("Brand Name"))
+	r3 := NewRule("r3", QGramJaccard("Title", 3, 0.9))
+	fwd := &RuleSet{Rules: []*Rule{r1, r2, r3}}
+	rev := &RuleSet{Rules: []*Rule{r3, r2, r1}}
+	for _, p := range pairs {
+		f, _ := fwd.Apply(p.A, p.B)
+		r, _ := rev.Apply(p.A, p.B)
+		if f != r {
+			t.Fatalf("verdict depends on rule order for pair %s/%s", p.A.ID, p.B.ID)
+		}
+	}
+}
+
+func TestGeneratePairsShape(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 102, NumTypes: 30})
+	pairs := GeneratePairs(cat, randx.New(2), 200, 200)
+	pos, neg := 0, 0
+	for _, p := range pairs {
+		if p.TrueMatch {
+			pos++
+			if p.A.TrueType != p.B.TrueType {
+				t.Fatal("positive pair with different true types")
+			}
+		} else {
+			neg++
+			if p.A.ID == p.B.ID {
+				t.Fatal("negative pair of identical records")
+			}
+		}
+	}
+	if pos != 200 || neg != 200 {
+		t.Fatalf("pair counts: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestMatchingQuality(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 103, NumTypes: 30})
+	pairs := GeneratePairs(cat, randx.New(3), 400, 400)
+	rs := &RuleSet{Rules: []*Rule{
+		NewRule("isbn-title", AttrEquals("isbn"), QGramJaccard("Title", 3, 0.5)),
+		NewRule("title-brand", TokenJaccard("Title", 0.6), AttrEquals("Brand Name")),
+		NewRule("title-high", QGramJaccard("Title", 3, 0.8)),
+	}}
+	m := Evaluate(rs, pairs)
+	if m.Precision < 0.9 {
+		t.Fatalf("EM precision %.3f < 0.9 (FP=%d)", m.Precision, m.FP)
+	}
+	if m.Recall < 0.5 {
+		t.Fatalf("EM recall %.3f < 0.5 (FN=%d)", m.Recall, m.FN)
+	}
+	if m.F1 <= 0 {
+		t.Fatal("F1 not computed")
+	}
+	total := 0
+	for _, n := range m.PerRule {
+		total += n
+	}
+	if total != m.TP+m.FP {
+		t.Fatalf("per-rule attribution %d != matches %d", total, m.TP+m.FP)
+	}
+}
+
+func TestBlockerReducesCandidates(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 104, NumTypes: 40})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 3000, Epoch: 0})
+	b := NewBlocker(items)
+	totalCands := 0
+	probe := items[:100]
+	for _, it := range probe {
+		cands := b.Candidates(it, 2)
+		totalCands += len(cands)
+		// The item itself must be among its own candidates (no lost matches
+		// for self-evidently matchable records).
+		foundSelf := false
+		for _, idx := range cands {
+			if items[idx].ID == it.ID {
+				foundSelf = true
+				break
+			}
+		}
+		if !foundSelf {
+			t.Fatalf("blocking lost the record itself for %q", it.Title())
+		}
+	}
+	avg := float64(totalCands) / float64(len(probe))
+	if avg > float64(len(items))/4 {
+		t.Fatalf("blocking not selective: avg %.0f of %d", avg, len(items))
+	}
+}
+
+func TestBlockerRecallOnPerturbedDuplicates(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 105, NumTypes: 40})
+	pairs := GeneratePairs(cat, randx.New(5), 200, 0)
+	var corpus []*catalog.Item
+	for _, p := range pairs {
+		corpus = append(corpus, p.A)
+	}
+	b := NewBlocker(corpus)
+	found := 0
+	for i, p := range pairs {
+		for _, idx := range b.Candidates(p.B, 3) {
+			if int(idx) == i {
+				found++
+				break
+			}
+		}
+	}
+	if float64(found)/float64(len(pairs)) < 0.8 {
+		t.Fatalf("blocking recall too low: %d/%d", found, len(pairs))
+	}
+}

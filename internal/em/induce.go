@@ -1,0 +1,218 @@
+package em
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/crowd"
+)
+
+// This file implements the Corleone-style [18] path the paper describes for
+// EM rules: "rules can be manually created by domain analysts, CS
+// developers, and the crowd". The crowd labels record pairs; a shallow
+// decision tree over a pool of match predicates is learned from the labels;
+// and the tree's high-purity positive paths are extracted back into the
+// analyst rule language — conjunctions of (possibly negated) predicates —
+// where they are managed, evaluated and maintained like any hand-written
+// rule.
+
+// Not negates a predicate, keeping the rule language closed under the
+// tree-path extraction.
+func Not(p Predicate) Predicate {
+	return Predicate{
+		Name: "NOT (" + p.Name + ")",
+		Eval: func(a, b *catalog.Item) bool { return !p.Eval(a, b) },
+	}
+}
+
+// DefaultPredicatePool builds the standard candidate-predicate pool over a
+// pair sample: title q-gram Jaccard at several thresholds, title token
+// Jaccard, and equality on every attribute carried by at least minAttrFrac
+// of the sampled records on both sides.
+func DefaultPredicatePool(pairs []Pair, minAttrFrac float64) []Predicate {
+	if minAttrFrac <= 0 {
+		minAttrFrac = 0.2
+	}
+	pool := []Predicate{
+		QGramJaccard("Title", 3, 0.4),
+		QGramJaccard("Title", 3, 0.6),
+		QGramJaccard("Title", 3, 0.8),
+		TokenJaccard("Title", 0.5),
+		TokenJaccard("Title", 0.7),
+	}
+	counts := map[string]int{}
+	for _, p := range pairs {
+		for attr := range p.A.Attrs {
+			if _, ok := p.B.Attrs[attr]; ok {
+				counts[attr]++
+			}
+		}
+	}
+	var attrs []string
+	for attr, n := range counts {
+		if attr == "Title" || attr == "Description" {
+			continue
+		}
+		if float64(n) >= minAttrFrac*float64(len(pairs)) {
+			attrs = append(attrs, attr)
+		}
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		pool = append(pool, AttrEquals(attr))
+	}
+	return pool
+}
+
+// LabelPairs asks the crowd to verify each pair, returning pairs whose
+// TrueMatch field carries the (noisy) crowd answer — the training labels
+// Corleone works from. Budget exhaustion truncates the output.
+func LabelPairs(pairs []Pair, cr *crowd.Crowd) ([]Pair, error) {
+	out := make([]Pair, 0, len(pairs))
+	for _, p := range pairs {
+		ans, err := cr.VerifyClaim(p.TrueMatch)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Pair{A: p.A, B: p.B, TrueMatch: ans})
+	}
+	return out, nil
+}
+
+// InduceOptions parameterizes rule induction.
+type InduceOptions struct {
+	MaxDepth  int     // tree depth bound (default 3)
+	MinLeaf   int     // minimum labeled pairs per leaf (default 8)
+	MinPurity float64 // minimum positive fraction for an extracted leaf (default 0.95)
+}
+
+func (o InduceOptions) withDefaults() InduceOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 8
+	}
+	if o.MinPurity == 0 {
+		o.MinPurity = 0.95
+	}
+	return o
+}
+
+// InduceRules learns a depth-bounded decision tree over the predicate pool
+// from labeled pairs and extracts every high-purity positive leaf as a
+// conjunctive match rule. Rules are named induced-1, induced-2, … in
+// extraction order and carry Provenance "crowd-induced".
+func InduceRules(labeled []Pair, pool []Predicate, opts InduceOptions) []*Rule {
+	opts = opts.withDefaults()
+	if len(labeled) == 0 || len(pool) == 0 {
+		return nil
+	}
+	// Precompute the feature matrix.
+	features := make([][]bool, len(labeled))
+	for i, p := range labeled {
+		row := make([]bool, len(pool))
+		for j, pred := range pool {
+			row[j] = pred.Eval(p.A, p.B)
+		}
+		features[i] = row
+	}
+	idx := make([]int, len(labeled))
+	for i := range idx {
+		idx[i] = i
+	}
+	var rules []*Rule
+	var path []Predicate
+	var grow func(rows []int, depth int)
+	grow = func(rows []int, depth int) {
+		pos := 0
+		for _, r := range rows {
+			if labeled[r].TrueMatch {
+				pos++
+			}
+		}
+		purity := float64(pos) / float64(len(rows))
+		// Extract a rule when the leaf is pure-positive enough and carries a
+		// non-empty conjunction.
+		stop := depth >= opts.MaxDepth || pos == 0 || pos == len(rows) || len(rows) < 2*opts.MinLeaf
+		if stop {
+			if purity >= opts.MinPurity && len(path) > 0 && len(rows) >= opts.MinLeaf {
+				r := NewRule(fmt.Sprintf("induced-%d", len(rules)+1), append([]Predicate(nil), path...)...)
+				r.Provenance = "crowd-induced"
+				rules = append(rules, r)
+			}
+			return
+		}
+		best, bestGain := -1, 0.0
+		for j := range pool {
+			gain := infoGain(labeled, features, rows, j)
+			if gain > bestGain+1e-12 {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 {
+			if purity >= opts.MinPurity && len(path) > 0 && len(rows) >= opts.MinLeaf {
+				r := NewRule(fmt.Sprintf("induced-%d", len(rules)+1), append([]Predicate(nil), path...)...)
+				r.Provenance = "crowd-induced"
+				rules = append(rules, r)
+			}
+			return
+		}
+		var yes, no []int
+		for _, r := range rows {
+			if features[r][best] {
+				yes = append(yes, r)
+			} else {
+				no = append(no, r)
+			}
+		}
+		if len(yes) >= opts.MinLeaf {
+			path = append(path, pool[best])
+			grow(yes, depth+1)
+			path = path[:len(path)-1]
+		}
+		if len(no) >= opts.MinLeaf {
+			path = append(path, Not(pool[best]))
+			grow(no, depth+1)
+			path = path[:len(path)-1]
+		}
+	}
+	grow(idx, 0)
+	return rules
+}
+
+// infoGain computes the information gain of splitting rows on predicate j.
+func infoGain(labeled []Pair, features [][]bool, rows []int, j int) float64 {
+	entropy := func(pos, n int) float64 {
+		if n == 0 || pos == 0 || pos == n {
+			return 0
+		}
+		p := float64(pos) / float64(n)
+		return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	}
+	var pos, yesN, yesPos, noN, noPos int
+	for _, r := range rows {
+		match := labeled[r].TrueMatch
+		if match {
+			pos++
+		}
+		if features[r][j] {
+			yesN++
+			if match {
+				yesPos++
+			}
+		} else {
+			noN++
+			if match {
+				noPos++
+			}
+		}
+	}
+	n := len(rows)
+	base := entropy(pos, n)
+	split := float64(yesN)/float64(n)*entropy(yesPos, yesN) +
+		float64(noN)/float64(n)*entropy(noPos, noN)
+	return base - split
+}

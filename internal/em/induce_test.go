@@ -1,0 +1,181 @@
+package em
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/crowd"
+	"repro/internal/randx"
+)
+
+func inducedFixture(t *testing.T) (train, test []Pair, pool []Predicate) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: 131, NumTypes: 30})
+	train = GeneratePairs(cat, randx.New(1), 400, 400)
+	test = GeneratePairs(cat, randx.New(2), 300, 300)
+	pool = DefaultPredicatePool(train, 0.2)
+	return train, test, pool
+}
+
+func TestDefaultPredicatePool(t *testing.T) {
+	train, _, pool := inducedFixture(t)
+	_ = train
+	if len(pool) < 6 {
+		t.Fatalf("pool too small: %d", len(pool))
+	}
+	names := map[string]bool{}
+	for _, p := range pool {
+		names[p.Name] = true
+	}
+	if !names["jaccard.3g(a.Title, b.Title) >= 0.80"] {
+		t.Fatalf("title jaccard missing from pool: %v", names)
+	}
+	foundBrand := false
+	for n := range names {
+		if strings.Contains(n, "Brand Name") {
+			foundBrand = true
+		}
+	}
+	if !foundBrand {
+		t.Fatal("common attribute equality missing from pool")
+	}
+	for n := range names {
+		if strings.Contains(n, "Description") {
+			t.Fatal("Description must not enter the pool")
+		}
+	}
+}
+
+func TestNotPredicate(t *testing.T) {
+	p := AttrEquals("isbn")
+	np := Not(p)
+	a := &catalog.Item{ID: "a", Attrs: map[string]string{"isbn": "1"}}
+	b := &catalog.Item{ID: "b", Attrs: map[string]string{"isbn": "1"}}
+	if np.Eval(a, b) {
+		t.Fatal("negation broken")
+	}
+	if !strings.Contains(np.Name, "NOT (") {
+		t.Fatalf("negation name: %s", np.Name)
+	}
+}
+
+func TestInduceRulesLearnMatching(t *testing.T) {
+	train, test, pool := inducedFixture(t)
+	rules := InduceRules(train, pool, InduceOptions{})
+	if len(rules) == 0 {
+		t.Fatal("no rules induced")
+	}
+	for _, r := range rules {
+		if r.Provenance != "crowd-induced" {
+			t.Fatalf("provenance missing: %+v", r)
+		}
+		if len(r.Preds) == 0 {
+			t.Fatal("empty conjunction extracted")
+		}
+	}
+	rs := &RuleSet{Rules: rules}
+	m := Evaluate(rs, test)
+	if m.Precision < 0.85 {
+		t.Fatalf("induced precision %.3f too low (FP=%d)", m.Precision, m.FP)
+	}
+	if m.Recall < 0.5 {
+		t.Fatalf("induced recall %.3f too low", m.Recall)
+	}
+}
+
+func TestInduceRulesReadable(t *testing.T) {
+	train, _, pool := inducedFixture(t)
+	rules := InduceRules(train, pool, InduceOptions{})
+	for _, r := range rules {
+		s := r.String()
+		if !strings.Contains(s, "=> a ~ b") || !strings.Contains(s, "[") {
+			t.Fatalf("induced rule not in the analyst notation: %s", s)
+		}
+	}
+}
+
+func TestInduceFromCrowdLabels(t *testing.T) {
+	// End-to-end Corleone flow: crowd labels (noisy), induce, evaluate
+	// against the real ground truth.
+	train, test, pool := inducedFixture(t)
+	cr := crowd.New(crowd.Config{Seed: 7})
+	labeled, err := LabelPairs(train, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labeled) != len(train) {
+		t.Fatalf("labeling truncated: %d", len(labeled))
+	}
+	// The crowd flips a few labels; count them to confirm noise exists.
+	flips := 0
+	for i := range labeled {
+		if labeled[i].TrueMatch != train[i].TrueMatch {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Log("crowd made no mistakes on this draw (acceptable)")
+	}
+	rules := InduceRules(labeled, pool, InduceOptions{})
+	if len(rules) == 0 {
+		t.Fatal("no rules induced from crowd labels")
+	}
+	m := Evaluate(&RuleSet{Rules: rules}, test)
+	if m.Precision < 0.8 || m.Recall < 0.4 {
+		t.Fatalf("crowd-label induction too weak: p=%.3f r=%.3f", m.Precision, m.Recall)
+	}
+}
+
+func TestInduceBudgetExhaustion(t *testing.T) {
+	train, _, _ := inducedFixture(t)
+	cr := crowd.New(crowd.Config{Seed: 8, Budget: 30, Redundancy: 3})
+	labeled, err := LabelPairs(train, cr)
+	if err == nil {
+		t.Fatal("tiny budget should exhaust")
+	}
+	if len(labeled) != 10 {
+		t.Fatalf("partial labels should be returned: %d", len(labeled))
+	}
+}
+
+func TestInduceDegenerateInputs(t *testing.T) {
+	_, _, pool := inducedFixture(t)
+	if rules := InduceRules(nil, pool, InduceOptions{}); rules != nil {
+		t.Fatal("no pairs → no rules")
+	}
+	train, _, _ := inducedFixture(t)
+	if rules := InduceRules(train, nil, InduceOptions{}); rules != nil {
+		t.Fatal("no pool → no rules")
+	}
+	// All-negative labels → no positive leaves.
+	var negs []Pair
+	for _, p := range train {
+		if !p.TrueMatch {
+			negs = append(negs, p)
+		}
+	}
+	if rules := InduceRules(negs, pool, InduceOptions{}); len(rules) != 0 {
+		t.Fatalf("all-negative labels should induce nothing: %d", len(rules))
+	}
+}
+
+func TestInducedRulesOrderIndependent(t *testing.T) {
+	train, test, pool := inducedFixture(t)
+	rules := InduceRules(train, pool, InduceOptions{})
+	if len(rules) < 2 {
+		t.Skip("need at least two rules")
+	}
+	fwd := &RuleSet{Rules: rules}
+	rev := &RuleSet{Rules: []*Rule{}}
+	for i := len(rules) - 1; i >= 0; i-- {
+		rev.Rules = append(rev.Rules, rules[i])
+	}
+	for _, p := range test[:200] {
+		f, _ := fwd.Apply(p.A, p.B)
+		r, _ := rev.Apply(p.A, p.B)
+		if f != r {
+			t.Fatal("induced rule set order-dependent")
+		}
+	}
+}

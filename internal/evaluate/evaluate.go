@@ -1,0 +1,358 @@
+// Package evaluate implements the §4 rule-quality evaluation methods and
+// their economics:
+//
+//  1. a single global validation set — cheap per rule but blind to "tail"
+//     rules whose coverage misses the set;
+//  2. per-rule crowd sampling with the overlap-sharing optimization of
+//     Corleone [18] — samples drawn in the intersection of two rules'
+//     coverage count toward both, cutting crowd cost;
+//  3. module-level sampling — one estimate for a whole rule-based module,
+//     cheapest but coarse.
+//
+// It also provides the §5.3 impactful-rule tracker: evaluate only the rules
+// that touch many items, and alert when an un-evaluated rule becomes
+// impactful.
+package evaluate
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/randx"
+)
+
+// RulePrecision is one rule's estimated precision.
+type RulePrecision struct {
+	RuleID string
+	// Touched is the rule's coverage within the evaluation data.
+	Touched int
+	// Sampled is how many covered items were actually verified.
+	Sampled int
+	// Correct is how many verified items confirmed the rule's target.
+	Correct int
+	// Precision is Correct/Sampled; meaningless unless Evaluable.
+	Precision float64
+	// WilsonLo/WilsonHi bound the precision at ~95% confidence.
+	WilsonLo, WilsonHi float64
+	// Evaluable reports whether the estimate rests on at least MinSample
+	// verified items. "Tail" rules under method 1 come back Evaluable=false.
+	Evaluable bool
+}
+
+// MinSample is the minimum verified-item count for an estimate to be
+// considered usable.
+const MinSample = 3
+
+func makePrecision(id string, touched, sampled, correct int) RulePrecision {
+	rp := RulePrecision{RuleID: id, Touched: touched, Sampled: sampled, Correct: correct}
+	if sampled > 0 {
+		rp.Precision = float64(correct) / float64(sampled)
+	}
+	rp.WilsonLo, rp.WilsonHi = randx.WilsonInterval(correct, sampled)
+	rp.Evaluable = sampled >= MinSample
+	return rp
+}
+
+// WithValidationSet is method 1: estimate each rule's precision from the
+// items of a labeled validation set that the rule touches. No crowd cost —
+// the set was paid for up front — but rules whose coverage misses the set
+// are unevaluable.
+func WithValidationSet(rules []*core.Rule, validation []*catalog.Item) map[string]RulePrecision {
+	di := core.NewDataIndex(validation)
+	out := make(map[string]RulePrecision, len(rules))
+	for _, r := range rules {
+		if r.Kind == core.Filter {
+			continue
+		}
+		matches := di.Matches(r)
+		correct := 0
+		for _, i := range matches {
+			if ruleCorrectOn(r, validation[i]) {
+				correct++
+			}
+		}
+		out[r.ID] = makePrecision(r.ID, len(matches), len(matches), correct)
+	}
+	return out
+}
+
+// ruleCorrectOn defines ground-truth correctness of a rule firing on an
+// item: whitelist-family rules are correct when the item really is the
+// target type; blacklist rules are correct when it is NOT; attr-value rules
+// are correct when the true type is in the allowed set.
+func ruleCorrectOn(r *core.Rule, it *catalog.Item) bool {
+	switch r.Kind {
+	case core.Blacklist:
+		return it.TrueType != r.TargetType
+	case core.AttrValue, core.TypeRestrict:
+		for _, t := range r.AllowedTypes {
+			if it.TrueType == t {
+				return true
+			}
+		}
+		return false
+	default:
+		return it.TrueType == r.TargetType
+	}
+}
+
+// PerRuleResult is the outcome of method 2.
+type PerRuleResult struct {
+	Precisions map[string]RulePrecision
+	// CrowdQuestions is the number of items sent to the crowd (each costing
+	// Redundancy worker-answers).
+	CrowdQuestions int
+	// Reused counts verification verdicts served from the shared pool
+	// instead of fresh crowd questions.
+	Reused int
+}
+
+// PerRule is method 2: per-rule samples verified by the crowd, with optional
+// overlap sharing. With sharing, a crowd verdict for item i counts toward
+// every rule whose coverage includes i, so overlapping rules (§4: "sample in
+// A ∩ B first") split the bill.
+func PerRule(rules []*core.Rule, corpus []*catalog.Item, cr *crowd.Crowd, rng *randx.Rand, samplePerRule int, share bool) (*PerRuleResult, error) {
+	di := core.NewDataIndex(corpus)
+	res := &PerRuleResult{Precisions: map[string]RulePrecision{}}
+
+	// verified caches crowd answers per (item, claimed type): the same item
+	// can be asked about different target types.
+	type claimKey struct {
+		item   int32
+		target string
+	}
+	verified := map[claimKey]bool{}
+
+	// Order rules by descending coverage so heavily-overlapped head rules
+	// populate the shared pool first.
+	type ruleCov struct {
+		rule *core.Rule
+		cov  []int32
+	}
+	rcs := make([]ruleCov, 0, len(rules))
+	for _, r := range rules {
+		if r.Kind == core.Filter {
+			continue
+		}
+		rcs = append(rcs, ruleCov{r, di.Matches(r)})
+	}
+	sort.SliceStable(rcs, func(i, j int) bool { return len(rcs[i].cov) > len(rcs[j].cov) })
+
+	for _, rc := range rcs {
+		target := rc.rule.TargetType
+		sampled, correct := 0, 0
+		var unseen []int32
+		if share {
+			// Reuse pool answers inside this rule's coverage first.
+			for _, i := range rc.cov {
+				if sampled >= samplePerRule {
+					break
+				}
+				if ans, ok := verified[claimKey{i, target}]; ok {
+					sampled++
+					res.Reused++
+					if ruleAnswerCorrect(rc.rule, ans) {
+						correct++
+					}
+					continue
+				}
+				unseen = append(unseen, i)
+			}
+		} else {
+			unseen = rc.cov
+		}
+		// Fresh crowd questions for the remainder.
+		need := samplePerRule - sampled
+		if need > 0 && len(unseen) > 0 {
+			for _, pick := range rng.Sample(len(unseen), need) {
+				i := unseen[pick]
+				truth := corpus[i].TrueType == target
+				ans, err := cr.VerifyClaim(truth)
+				if err != nil {
+					return res, err
+				}
+				res.CrowdQuestions++
+				verified[claimKey{i, target}] = ans
+				sampled++
+				if ruleAnswerCorrect(rc.rule, ans) {
+					correct++
+				}
+			}
+		}
+		res.Precisions[rc.rule.ID] = makePrecision(rc.rule.ID, len(rc.cov), sampled, correct)
+	}
+	return res, nil
+}
+
+// ruleAnswerCorrect converts a crowd answer to "was the rule right on this
+// item": the crowd answers "is target a correct type for the item"; a
+// whitelist rule is right when yes, a blacklist rule when no.
+func ruleAnswerCorrect(r *core.Rule, crowdSaysTargetCorrect bool) bool {
+	if r.Kind == core.Blacklist {
+		return !crowdSaysTargetCorrect
+	}
+	return crowdSaysTargetCorrect
+}
+
+// ModuleResult is the outcome of method 3.
+type ModuleResult struct {
+	// Precision is the estimated precision of the module's final output on
+	// the touched items.
+	Precision float64
+	Sampled   int
+	Touched   int
+	// CrowdQuestions spent.
+	CrowdQuestions int
+}
+
+// Module is method 3: give up per-rule estimates and sample the items
+// touched by the whole module, evaluating its combined verdicts.
+func Module(rules []*core.Rule, corpus []*catalog.Item, cr *crowd.Crowd, rng *randx.Rand, sampleSize int) (*ModuleResult, error) {
+	ex := core.NewIndexedExecutor(rules)
+	var touchedItems []int
+	var finals []string
+	for i, it := range corpus {
+		v := ex.Apply(it)
+		ft := v.FinalTypes()
+		if len(ft) == 1 {
+			touchedItems = append(touchedItems, i)
+			finals = append(finals, ft[0])
+		}
+	}
+	res := &ModuleResult{Touched: len(touchedItems)}
+	if len(touchedItems) == 0 {
+		return res, nil
+	}
+	correct := 0
+	for _, pick := range rng.Sample(len(touchedItems), sampleSize) {
+		it := corpus[touchedItems[pick]]
+		ok, err := cr.VerifyPair(it, finals[pick])
+		if err != nil {
+			return res, err
+		}
+		res.CrowdQuestions++
+		res.Sampled++
+		if ok {
+			correct++
+		}
+	}
+	res.Precision = float64(correct) / float64(res.Sampled)
+	return res, nil
+}
+
+// HeadTailSplit partitions rules by their coverage on the evaluation data:
+// rules touching at least headMin items are "head" rules, the rest "tail"
+// (§4: tail rules are the ones validation sets and overlap sampling miss).
+func HeadTailSplit(rules []*core.Rule, corpus []*catalog.Item, headMin int) (head, tail []*core.Rule) {
+	di := core.NewDataIndex(corpus)
+	for _, r := range rules {
+		if r.Kind == core.Filter {
+			continue
+		}
+		if di.Coverage(r) >= headMin {
+			head = append(head, r)
+		} else {
+			tail = append(tail, r)
+		}
+	}
+	return head, tail
+}
+
+// ValidateRule is the §4 crowd-assisted rule-creation helper: before a
+// freshly written (or mined, or tool-expanded) rule is deployed, a crowd
+// sample of the items it touches estimates its precision; the rule is
+// accepted when the Wilson lower bound clears minPrecision. It returns the
+// estimate and the verdict. Rules touching nothing are rejected with a
+// zero-sample estimate — an untestable rule should not ship.
+func ValidateRule(r *core.Rule, corpus []*catalog.Item, cr *crowd.Crowd, rng *randx.Rand, sample int, minPrecision float64) (RulePrecision, bool, error) {
+	di := core.NewDataIndex(corpus)
+	cov := di.Matches(r)
+	if len(cov) == 0 {
+		return makePrecision(r.ID, 0, 0, 0), false, nil
+	}
+	sampled, correct := 0, 0
+	for _, pick := range rng.Sample(len(cov), sample) {
+		it := corpus[cov[pick]]
+		ans, err := cr.VerifyClaim(it.TrueType == r.TargetType)
+		if err != nil {
+			return makePrecision(r.ID, len(cov), sampled, correct), false, err
+		}
+		sampled++
+		if ruleAnswerCorrect(r, ans) {
+			correct++
+		}
+	}
+	rp := makePrecision(r.ID, len(cov), sampled, correct)
+	return rp, rp.Evaluable && rp.WilsonLo >= minPrecision, nil
+}
+
+// ImpactTracker implements the §5.3 strategy: spend the crowd budget on
+// impactful rules only, track all rules, and alert when an un-evaluated
+// rule's observed coverage crosses the impact threshold. It is safe for
+// concurrent use (batches report touches from worker goroutines).
+type ImpactTracker struct {
+	mu        sync.Mutex
+	threshold int
+	touches   map[string]int
+	evaluated map[string]bool
+	alerted   map[string]bool
+}
+
+// NewImpactTracker creates a tracker alerting at the given touch threshold.
+func NewImpactTracker(threshold int) *ImpactTracker {
+	return &ImpactTracker{
+		threshold: threshold,
+		touches:   map[string]int{},
+		evaluated: map[string]bool{},
+		alerted:   map[string]bool{},
+	}
+}
+
+// Observe records that a rule touched n items in the latest batch.
+func (t *ImpactTracker) Observe(ruleID string, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touches[ruleID] += n
+}
+
+// MarkEvaluated records that a rule has a fresh precision estimate.
+func (t *ImpactTracker) MarkEvaluated(ruleID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evaluated[ruleID] = true
+	delete(t.alerted, ruleID)
+}
+
+// Touches returns the cumulative touch count for a rule.
+func (t *ImpactTracker) Touches(ruleID string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.touches[ruleID]
+}
+
+// Alerts returns rules that crossed the impact threshold without an
+// evaluation, sorted by descending touches. Each rule alerts once until
+// re-marked.
+func (t *ImpactTracker) Alerts() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for id, n := range t.touches {
+		if n >= t.threshold && !t.evaluated[id] && !t.alerted[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if t.touches[out[i]] != t.touches[out[j]] {
+			return t.touches[out[i]] > t.touches[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	for _, id := range out {
+		t.alerted[id] = true
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package evaluate
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/randx"
+)
+
+func fixtures(t *testing.T, n int) (*catalog.Catalog, []*catalog.Item, []*core.Rule) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: 61, NumTypes: 50})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: n, Epoch: 1})
+	mk := func(id string, r *core.Rule, err error) *core.Rule {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ID = id
+		return r
+	}
+	wl := func(id, src, target string) *core.Rule {
+		r, err := core.NewWhitelist(src, target)
+		return mk(id, r, err)
+	}
+	rules := []*core.Rule{
+		wl("w-rings", "rings?", "rings"),
+		wl("w-jeans", "jeans?", "jeans"),
+		wl("w-denim-jeans", "denim.*jeans?", "jeans"),
+		// A deliberately imprecise rule: "oil" also matches olive and
+		// coconut oil titles.
+		wl("w-oil", "oils?", "motor oil"),
+		// A tail rule: christmas tree titles are rare.
+		wl("w-xmas", "christmas tree", "holiday decorations"),
+	}
+	bl, err := core.NewBlacklist("olive oils?", "motor oil")
+	rules = append(rules, mk("b-olive", bl, err))
+	ae, err := core.NewAttrExists("isbn", "books")
+	rules = append(rules, mk("a-isbn", ae, err))
+	return cat, items, rules
+}
+
+func TestWithValidationSet(t *testing.T) {
+	_, items, rules := fixtures(t, 4000)
+	res := WithValidationSet(rules, items)
+	rings := res["w-rings"]
+	if !rings.Evaluable {
+		t.Fatalf("head rule should be evaluable: %+v", rings)
+	}
+	if rings.Precision < 0.9 {
+		t.Fatalf("rings? precision %v, want high", rings.Precision)
+	}
+	if rings.WilsonLo > rings.Precision+1e-9 || rings.WilsonHi < rings.Precision-1e-9 {
+		t.Fatalf("Wilson interval does not bracket the estimate: %+v", rings)
+	}
+	isbn := res["a-isbn"]
+	if isbn.Evaluable && isbn.Precision < 0.95 {
+		t.Fatalf("isbn rule should be near-perfect: %+v", isbn)
+	}
+}
+
+func TestValidationSetMissesTailRules(t *testing.T) {
+	// A small validation set leaves the tail rule unevaluable — the §4
+	// failure mode of method 1.
+	cat, _, rules := fixtures(t, 0)
+	small := cat.GenerateBatch(catalog.BatchSpec{Size: 150, Epoch: 1})
+	res := WithValidationSet(rules, small)
+	if res["w-xmas"].Evaluable {
+		t.Skip("tail rule unexpectedly covered by the small sample")
+	}
+	if res["w-xmas"].Touched >= MinSample {
+		t.Fatalf("tail rule touched %d items of a 150-item set", res["w-xmas"].Touched)
+	}
+}
+
+func TestBlacklistCorrectness(t *testing.T) {
+	_, items, rules := fixtures(t, 4000)
+	res := WithValidationSet(rules, items)
+	bl := res["b-olive"]
+	if bl.Sampled > 0 && bl.Precision < 0.95 {
+		t.Fatalf("blacklist precision should be high (olive oil is not motor oil): %+v", bl)
+	}
+}
+
+func TestPerRuleSharingReducesCost(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	run := func(share bool) *PerRuleResult {
+		cr := crowd.New(crowd.Config{Seed: 7})
+		res, err := PerRule(rules, items, cr, randx.New(8), 20, share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	noShare := run(false)
+	withShare := run(true)
+	if withShare.Reused == 0 {
+		t.Fatal("overlapping jeans rules should reuse verdicts")
+	}
+	if withShare.CrowdQuestions >= noShare.CrowdQuestions {
+		t.Fatalf("sharing should cut crowd questions: %d vs %d",
+			withShare.CrowdQuestions, noShare.CrowdQuestions)
+	}
+	// Estimates should broadly agree for head rules.
+	a, b := noShare.Precisions["w-rings"], withShare.Precisions["w-rings"]
+	if a.Evaluable != b.Evaluable {
+		t.Fatal("sharing changed evaluability of a head rule")
+	}
+}
+
+func TestPerRuleDetectsImpreciseRule(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	cr := crowd.New(crowd.Config{Seed: 9})
+	res, err := PerRule(rules, items, cr, randx.New(10), 30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oil := res.Precisions["w-oil"]
+	rings := res.Precisions["w-rings"]
+	if oil.Evaluable && rings.Evaluable && oil.Precision >= rings.Precision {
+		t.Fatalf("the imprecise 'oils?' rule should score below 'rings?': %v vs %v",
+			oil.Precision, rings.Precision)
+	}
+}
+
+func TestPerRuleBudgetExhaustion(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	cr := crowd.New(crowd.Config{Seed: 11, Budget: 30, Redundancy: 3})
+	_, err := PerRule(rules, items, cr, randx.New(12), 50, false)
+	if err == nil {
+		t.Fatal("tiny budget should exhaust (the §4 'prohibitive costs' point)")
+	}
+}
+
+func TestModuleEvaluation(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	cr := crowd.New(crowd.Config{Seed: 13})
+	res, err := Module(rules, items, cr, randx.New(14), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Touched == 0 || res.Sampled == 0 {
+		t.Fatalf("module evaluation touched nothing: %+v", res)
+	}
+	if res.Precision < 0.5 || res.Precision > 1 {
+		t.Fatalf("module precision implausible: %v", res.Precision)
+	}
+	if res.CrowdQuestions != res.Sampled {
+		t.Fatalf("cost accounting wrong: %d questions for %d samples", res.CrowdQuestions, res.Sampled)
+	}
+}
+
+func TestModuleCheaperThanPerRule(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	crA := crowd.New(crowd.Config{Seed: 15})
+	perRule, err := PerRule(rules, items, crA, randx.New(16), 30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crB := crowd.New(crowd.Config{Seed: 17})
+	module, err := Module(rules, items, crB, randx.New(18), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module.CrowdQuestions >= perRule.CrowdQuestions {
+		t.Fatalf("module sampling should be cheapest: %d vs %d",
+			module.CrowdQuestions, perRule.CrowdQuestions)
+	}
+}
+
+func TestHeadTailSplit(t *testing.T) {
+	_, items, rules := fixtures(t, 4000)
+	// Choose a threshold that separates the rings rule (frequent type) from
+	// the christmas-tree rule (rare type) on this corpus.
+	di := core.NewDataIndex(items)
+	var ringsCov, xmasCov int
+	for _, r := range rules {
+		switch r.ID {
+		case "w-rings":
+			ringsCov = di.Coverage(r)
+		case "w-xmas":
+			xmasCov = di.Coverage(r)
+		}
+	}
+	if xmasCov >= ringsCov {
+		t.Skipf("corpus does not separate head/tail: rings=%d xmas=%d", ringsCov, xmasCov)
+	}
+	headMin := (ringsCov + xmasCov + 1) / 2
+	head, tail := HeadTailSplit(rules, items, headMin)
+	if len(head) == 0 || len(tail) == 0 {
+		t.Fatalf("expected both head and tail rules: %d/%d", len(head), len(tail))
+	}
+	for _, r := range tail {
+		if r.ID == "w-rings" {
+			t.Fatal("rings? is a head rule")
+		}
+	}
+	foundXmas := false
+	for _, r := range tail {
+		if r.ID == "w-xmas" {
+			foundXmas = true
+		}
+	}
+	if !foundXmas {
+		t.Fatal("christmas-tree rule should be tail")
+	}
+}
+
+func TestValidateRuleAcceptsGoodRule(t *testing.T) {
+	_, items, rules := fixtures(t, 3000)
+	cr := crowd.New(crowd.Config{Seed: 19})
+	var rings *core.Rule
+	for _, r := range rules {
+		if r.ID == "w-rings" {
+			rings = r
+		}
+	}
+	rp, ok, err := ValidateRule(rings, items, cr, randx.New(20), 40, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("precise rule should be accepted: %+v", rp)
+	}
+}
+
+func TestValidateRuleRejectsImprecise(t *testing.T) {
+	_, items, _ := fixtures(t, 3000)
+	bad, err := core.NewWhitelist("oils?", "motor oil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.ID = "bad-oil"
+	cr := crowd.New(crowd.Config{Seed: 21})
+	rp, ok, err := ValidateRule(bad, items, cr, randx.New(22), 40, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("imprecise rule should be rejected: %+v", rp)
+	}
+	if rp.Sampled == 0 {
+		t.Fatal("rule should have been sampled")
+	}
+}
+
+func TestValidateRuleRejectsUntouchable(t *testing.T) {
+	_, items, _ := fixtures(t, 500)
+	ghost, err := core.NewWhitelist("flux capacitors?", "time machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost.ID = "ghost"
+	cr := crowd.New(crowd.Config{Seed: 23})
+	rp, ok, err := ValidateRule(ghost, items, cr, randx.New(24), 40, 0.5)
+	if err != nil || ok {
+		t.Fatalf("untestable rule must be rejected: %+v ok=%v err=%v", rp, ok, err)
+	}
+	if cr.Spent() != 0 {
+		t.Fatal("no crowd budget should be spent on a zero-coverage rule")
+	}
+}
+
+func TestImpactTracker(t *testing.T) {
+	tr := NewImpactTracker(100)
+	tr.Observe("r1", 50)
+	if alerts := tr.Alerts(); len(alerts) != 0 {
+		t.Fatalf("below threshold should not alert: %v", alerts)
+	}
+	tr.Observe("r1", 60)
+	tr.Observe("r2", 500)
+	tr.MarkEvaluated("r2")
+	alerts := tr.Alerts()
+	if len(alerts) != 1 || alerts[0] != "r1" {
+		t.Fatalf("want [r1], got %v", alerts)
+	}
+	// Alert fires once until re-evaluation.
+	if again := tr.Alerts(); len(again) != 0 {
+		t.Fatalf("alert should not repeat: %v", again)
+	}
+	tr.MarkEvaluated("r1")
+	tr.Observe("r1", 200)
+	if again := tr.Alerts(); len(again) != 0 {
+		t.Fatal("evaluated rules should not alert")
+	}
+	if tr.Touches("r1") != 310 {
+		t.Fatalf("touch accounting wrong: %d", tr.Touches("r1"))
+	}
+}
+
+func TestAlertsSortedByImpact(t *testing.T) {
+	tr := NewImpactTracker(10)
+	tr.Observe("small", 20)
+	tr.Observe("big", 500)
+	alerts := tr.Alerts()
+	if len(alerts) != 2 || alerts[0] != "big" {
+		t.Fatalf("alerts should be impact-ordered: %v", alerts)
+	}
+}

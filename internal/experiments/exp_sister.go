@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/em"
+	"repro/internal/ie"
+	"repro/internal/kb"
+	"repro/internal/randx"
+)
+
+// SisterOptions scales E7/E8/E9.
+type SisterOptions struct {
+	Seed      uint64
+	NumTypes  int // default 120
+	TrainSize int // default 8000
+	TestSize  int // default 3000
+}
+
+func (o SisterOptions) withDefaults() SisterOptions {
+	if o.NumTypes == 0 {
+		o.NumTypes = 120
+	}
+	if o.TrainSize == 0 {
+		o.TrainSize = 8000
+	}
+	if o.TestSize == 0 {
+		o.TestSize = 3000
+	}
+	return o
+}
+
+// E7 reproduces the §6 IE claims: dictionary + context + pattern +
+// normalization rules extract brands/weights/sizes with high precision, and
+// the rule-based extractor beats the learned baseline on precision (the [8]
+// industry preference).
+func E7(opts SisterOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		ID:    "E7",
+		Title: "Rule-based information extraction vs learned baseline",
+		PaperClaim: "WalmartLabs IE systems use dictionary rules with context patterns for " +
+			"brands, regex rules for weights/sizes/colors, and normalization rules; 67% of " +
+			"41 surveyed commercial IE systems are rule-only [8] (survey — not benchmarked).",
+		Headers: []string{"extractor", "attribute", "precision", "recall"},
+		Notes: fmt.Sprintf("%d train / %d test items; learned baseline = averaged-perceptron token tagger",
+			opts.TrainSize, opts.TestSize),
+	}
+	cat := catalog.New(catalog.Config{Seed: opts.Seed + 81, NumTypes: opts.NumTypes})
+	train := cat.GenerateBatch(catalog.BatchSpec{Size: opts.TrainSize, Epoch: 0})
+	test := cat.GenerateBatch(catalog.BatchSpec{Size: opts.TestSize, Epoch: 0})
+
+	// Brand dictionary from the taxonomy.
+	brandSet := map[string]bool{}
+	for _, ty := range cat.Types() {
+		for _, b := range ty.Brands {
+			brandSet[b] = true
+		}
+	}
+	brands := make([]string, 0, len(brandSet))
+	for b := range brandSet {
+		brands = append(brands, b)
+	}
+	dict := &ie.Extractor{Rules: ie.NewRuleset(ie.NewDictRule("dict-brand", "Brand Name", brands, 1))}
+	dp, dr := ie.EvaluateExtractor(dict.Extract, test, "Brand Name")
+	rep.AddRow("dictionary rule", "Brand Name", dp, dr)
+
+	tagger := ie.NewTokenTagger("Brand Name", 4)
+	tagger.Train(train)
+	lp, lr := ie.EvaluateExtractor(func(it *catalog.Item) []ie.Extraction {
+		return tagger.Extract(it.TitleTokens())
+	}, test, "Brand Name")
+	rep.AddRow("learned tagger (baseline)", "Brand Name", lp, lr)
+
+	// Unit-pattern rules measured against titles that visibly carry units.
+	sizeRule := &ie.UnitRule{RuleID: "unit-size", Attr: "Size", Units: map[string]string{
+		"in": "inch", "inch": "inch", "ft": "ft", "oz": "oz", "lb": "lb", "qt": "qt", "ml": "ml",
+	}}
+	rs := ie.NewRuleset(sizeRule)
+	unitTitles, unitHits := 0, 0
+	for _, it := range test {
+		es := rs.Extract(it.Title())
+		if hasUnitToken(it) {
+			unitTitles++
+			if len(es) > 0 {
+				unitHits++
+			}
+		} else if len(es) > 0 {
+			// extraction on a unit-less title would be a false positive
+			unitTitles++
+		}
+	}
+	unitRecall := 0.0
+	if unitTitles > 0 {
+		unitRecall = float64(unitHits) / float64(unitTitles)
+	}
+	rep.AddRow("unit-pattern rule", "Size/Weight", unitRecall, unitRecall)
+
+	// Normalization.
+	norm := ie.NewNormalizer("norm", map[string][]string{
+		"IBM Corporation": {"ibm", "ibm inc", "the big blue"},
+	})
+	es := norm.Normalize([]ie.Extraction{{Attr: "Brand Name", Value: "the big blue"}})
+	rep.Findingf("normalization: %q → %q (the §6 example)", "the big blue", es[0].Value)
+	rep.Findingf("the [8] survey figure (67%% of commercial IE systems rule-only) is literature, noted not benchmarked")
+
+	rep.ShapeOK = dp >= lp && dp >= 0.9 && unitRecall > 0.7
+	return rep
+}
+
+func hasUnitToken(it *catalog.Item) bool {
+	toks := it.TitleTokens()
+	units := map[string]bool{"in": true, "inch": true, "ft": true, "oz": true, "lb": true, "qt": true, "ml": true}
+	for i, t := range toks {
+		if units[t] && i > 0 {
+			return true
+		}
+		if n, u, ok := splitFusedToken(t); ok && n != "" && units[u] {
+			return true
+		}
+	}
+	return false
+}
+
+func splitFusedToken(s string) (num, unit string, ok bool) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return "", "", false
+	}
+	return s[:i], s[i:], true
+}
+
+// E8 reproduces the §6 EM claims: rule sets in the paper's very notation
+// (isbn equality + 3-gram title Jaccard, etc.) match product pairs with
+// high precision; blocking avoids the cross product; the rule-set verdict
+// is independent of rule order (the §5.3 semantics question).
+func E8(opts SisterOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		ID:    "E8",
+		Title: "Entity matching with rules",
+		PaperClaim: "Product-matching systems at WalmartLabs use rules like " +
+			"[a.isbn = b.isbn] ∧ [jaccard.3g(a.title,b.title) ≥ 0.8] ⇒ a ≈ b, written by " +
+			"analysts, developers and the crowd [18] (§6).",
+		Headers: []string{"metric", "value"},
+		Notes:   "pairs = vendor-perturbed duplicates (positives) + same-type and cross-type non-matches",
+	}
+	cat := catalog.New(catalog.Config{Seed: opts.Seed + 82, NumTypes: opts.NumTypes})
+	pairs := em.GeneratePairs(cat, randx.New(opts.Seed+83), 600, 600)
+
+	rs := &em.RuleSet{Rules: []*em.Rule{
+		em.NewRule("isbn-title", em.AttrEquals("isbn"), em.QGramJaccard("Title", 3, 0.5)),
+		em.NewRule("title-brand", em.TokenJaccard("Title", 0.6), em.AttrEquals("Brand Name")),
+		em.NewRule("title-high", em.QGramJaccard("Title", 3, 0.8)),
+	}}
+	m := em.Evaluate(rs, pairs)
+	rep.AddRow("precision", m.Precision)
+	rep.AddRow("recall", m.Recall)
+	rep.AddRow("F1", m.F1)
+	for _, id := range sortedKeys(m.PerRule) {
+		rep.AddRow("matches via "+id, m.PerRule[id])
+	}
+
+	// Order independence.
+	rev := &em.RuleSet{Rules: []*em.Rule{rs.Rules[2], rs.Rules[0], rs.Rules[1]}}
+	orderOK := true
+	for _, p := range pairs {
+		a, _ := rs.Apply(p.A, p.B)
+		b, _ := rev.Apply(p.A, p.B)
+		if a != b {
+			orderOK = false
+			break
+		}
+	}
+	rep.Findingf("rule-order independence over %d pairs: %v (disjunction-of-conjunctions semantics)", len(pairs), orderOK)
+
+	// Blocking.
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 3000, Epoch: 0})
+	blocker := em.NewBlocker(items)
+	probe := items[:200]
+	total := 0
+	for _, it := range probe {
+		total += len(blocker.Candidates(it, 2))
+	}
+	avg := float64(total) / float64(len(probe))
+	reduction := float64(len(items)) / avg
+	rep.Findingf("blocking: %.0f candidates/record vs %d full scan (%.0fx reduction)", avg, len(items), reduction)
+
+	rep.ShapeOK = m.Precision >= 0.9 && m.Recall >= 0.5 && orderOK && reduction > 4
+	return rep
+}
+
+// E9 reproduces the §6 KB-construction claims: analyst curation captured as
+// rules survives source rebuilds — "over a period of 3-4 years, analysts
+// have written several thousands of such rules".
+func E9(opts SisterOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		ID:    "E9",
+		Title: "KB construction with replayable curation rules",
+		PaperClaim: "Kosmix KB curation actions are captured as rules and re-applied after " +
+			"every pipeline refresh; several thousands of curation rules accumulated (§6, [27]).",
+		Headers: []string{"rebuild epoch", "entities", "rules applied", "no-ops", "invariants hold"},
+		Notes:   "synthetic encyclopedia snapshots with churn (new entities, spurious edges, upstream renames)",
+	}
+
+	log := &kb.CurationLog{}
+	// The curated fixes of the churn motifs…
+	log.Append(kb.CurationRule{Op: "remove-edge", Child: "politicians", Parent: "entertainment", Author: "ana"})
+	log.Append(kb.CurationRule{Op: "add-alias", Entity: "lionel messi", Alias: "la pulga", Author: "ana"})
+	log.Append(kb.CurationRule{Op: "blacklist-entity", Entity: "initech", Author: "ana"})
+	log.Append(kb.CurationRule{Op: "rename-entity", From: "globex", To: "globex worldwide", Author: "ana"})
+	// …plus bulk curation at the paper's "thousands of rules" scale.
+	for i := 0; i < 2000; i++ {
+		log.Append(kb.CurationRule{Op: "add-alias", Entity: "world cup", Alias: fmt.Sprintf("wc%04d", i), Author: "bulk"})
+	}
+
+	allOK := true
+	var replayTime time.Duration
+	for epoch := 0; epoch <= 3; epoch++ {
+		base := kb.Build(kb.SyntheticSource(opts.Seed+84, epoch))
+		start := time.Now()
+		r := log.Replay(base)
+		replayTime += time.Since(start)
+		_, entities, _ := base.Stats()
+		invariants := !base.HasCycle() &&
+			base.Entity("initech") == nil &&
+			len(base.Parents("politicians")) == 1 &&
+			base.ResolveAlias("la pulga") == "lionel messi"
+		if len(r.Errors) > 0 || !invariants {
+			allOK = false
+		}
+		rep.AddRow(epoch, entities, r.Applied, r.NoOps, invariants)
+	}
+	rep.Findingf("replaying %d curation rules over 4 rebuilds took %v total", len(log.Rules), replayTime.Round(time.Millisecond))
+	rep.ShapeOK = allOK
+	return rep
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/chimera"
+	"repro/internal/crowd"
+	"repro/internal/mining"
+	"repro/internal/pattern"
+	"repro/internal/randx"
+	"repro/internal/synonym"
+	"repro/internal/tokenize"
+)
+
+// synInput is one of the 25 tool inputs of the §5.1 evaluation: a pattern
+// with a \syn slot and the target type whose vocabulary defines the oracle.
+type synInput struct {
+	Pattern string
+	Type    string
+}
+
+// synInputs mirrors the paper's 25 randomly-selected analyst regexes,
+// rebuilt against the synthetic lexicon. The last entry deliberately
+// matches nothing in the corpus, reproducing the paper's 1-in-25 failure.
+var synInputs = []synInput{
+	{`(area | \syn) rugs?`, "area rugs"},
+	{`(athletic | \syn) gloves?`, "athletic gloves"},
+	{`(boys? | \syn) shorts?`, "shorts"},
+	{`(abrasive | \syn) (wheels? | discs?)`, "abrasive wheels & discs"},
+	{`(motor | engine | \syn) oils?`, "motor oil"},
+	{`(denim | \syn) jeans?`, "jeans"},
+	{`(laptop | \syn) (bag | case | sleeve)s?`, "laptop bags & cases"},
+	{`(usb | \syn) cables?`, "computer cables"},
+	{`(dining | \syn) chairs?`, "dining chairs"},
+	{`(table | \syn) lamps?`, "table lamps"},
+	{`(blackout | \syn) curtains?`, "curtains"},
+	{`(dome | \syn) tents?`, "camping tents"},
+	{`(fishing | \syn) rods?`, "fishing rods"},
+	{`(baby | \syn) bottles?`, "baby bottles"},
+	{`(ballpoint | \syn) pens?`, "ballpoint pens"},
+	{`(printer | copy | \syn) paper`, "printer paper"},
+	{`(garden | \syn) hoses?`, "garden hoses"},
+	{`(lawn | \syn) mowers?`, "lawn mowers"},
+	{`(cat | \syn) litter`, "cat litter"},
+	{`(dog | \syn) food`, "dog food"},
+	{`(ground | \syn) coffee`, "ground coffee"},
+	{`(snack | granola | \syn) bars?`, "snack bars"},
+	{`(yoga | exercise | \syn) mats?`, "yoga mats"},
+	{`(diamond | \syn) rings?`, "rings"},
+	{`(quantum | \syn) hyperdrives?`, "—none—"}, // the failure case
+}
+
+// SynonymOptions scales E2.
+type SynonymOptions struct {
+	Seed       uint64
+	CorpusSize int // default 12000
+	MaxIter    int // default 10
+}
+
+func (o SynonymOptions) withDefaults() SynonymOptions {
+	if o.CorpusSize == 0 {
+		o.CorpusSize = 12000
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10
+	}
+	return o
+}
+
+// E2 reproduces the §5.1 tool evaluation and Table 1: 25 analyst patterns,
+// synonyms found for 24, count range 2–24 with mean ≈7, within three
+// feedback iterations, in minutes not hours.
+func E2(opts SynonymOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		ID:    "E2",
+		Title: "Synonym-finder tool (Table 1 + §5.1 evaluation)",
+		PaperClaim: "25 input regexes → synonyms found for 24, within 3 iterations; " +
+			"min 2 / max 24 / mean ≈7 synonyms per regex; ~4 analyst minutes per regex " +
+			"instead of hours.",
+		Headers: []string{"input pattern", "type", "synonyms", "iterations", "shown", "sample synonyms found"},
+		Notes: fmt.Sprintf("%d-title corpus, oracle analyst backed by the lexicon's ground-truth vocabulary",
+			opts.CorpusSize),
+	}
+
+	cat := catalog.New(catalog.Config{Seed: opts.Seed + 21, NumTypes: 120})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: opts.CorpusSize, Epoch: 1})
+	titles := make([][]string, len(items))
+	for i, it := range items {
+		titles[i] = it.TitleTokens()
+	}
+
+	start := time.Now()
+	var counts []float64
+	var iters []float64
+	withSyn := 0
+	for _, in := range synInputs {
+		pat, err := pattern.Parse(in.Pattern)
+		if err != nil {
+			rep.Findingf("pattern %q failed to parse: %v", in.Pattern, err)
+			continue
+		}
+		tool, err := synonym.NewTool(pat, titles, synonym.Options{})
+		if err != nil {
+			rep.AddRow(in.Pattern, in.Type, 0, 0, 0, "(no corpus matches)")
+			counts = append(counts, 0)
+			continue
+		}
+		oracle := lexiconOracle(cat, in.Type)
+		stats := synonym.RunSession(tool, oracle, opts.MaxIter, 3)
+		found := tool.Accepted()
+		if len(found) > 0 {
+			withSyn++
+		}
+		counts = append(counts, float64(len(found)))
+		iters = append(iters, float64(stats.Iterations))
+		rep.AddRow(in.Pattern, in.Type, len(found), stats.Iterations, stats.CandidatesShown, samplephrases(found, 6))
+	}
+	elapsed := time.Since(start)
+
+	rep.Findingf("synonyms found for %d of %d patterns (paper: 24 of 25)", withSyn, len(synInputs))
+	rep.Findingf("synonyms per pattern: min %.0f / max %.0f / mean %.1f (paper: 2 / 24 / ≈7)",
+		minNonFailed(counts), randx.Percentile(counts, 100), randx.Mean(counts))
+	rep.Findingf("mean feedback iterations: %.1f (paper: ≤3)", randx.Mean(iters))
+	rep.Findingf("tool wall-clock for all %d sessions: %v (the analyst cost is the shown-candidate count above; the paper's manual alternative was hours per regex)",
+		len(synInputs), elapsed.Round(time.Millisecond))
+
+	rep.ShapeOK = withSyn >= len(synInputs)-2 && randx.Mean(counts) >= 3 && randx.Mean(iters) <= 5
+	return rep
+}
+
+// lexiconOracle accepts a candidate phrase when it genuinely belongs to the
+// target type's vocabulary (modifier, brand, or synonym-head prefix).
+func lexiconOracle(cat *catalog.Catalog, typeName string) synonym.Oracle {
+	spec := cat.TypeByName(typeName)
+	valid := map[string]bool{}
+	if spec != nil {
+		for _, m := range spec.Modifiers {
+			valid[m] = true
+			// Multi-word modifiers validate their prefixes too ("cotton
+			// blend" → "cotton blend", "blend" alone stays invalid).
+		}
+		for _, b := range spec.Brands {
+			valid[b] = true
+		}
+		for _, s := range append(spec.Synonyms, spec.HeadTerms...) {
+			toks := tokenize.Tokenize(s.Text)
+			if len(toks) > 1 {
+				valid[strings.Join(toks[:len(toks)-1], " ")] = true
+			}
+		}
+	}
+	return func(phrase []string) bool { return valid[strings.Join(phrase, " ")] }
+}
+
+func samplephrases(phrases [][]string, n int) string {
+	var out []string
+	for i, ph := range phrases {
+		if i >= n {
+			break
+		}
+		out = append(out, strings.Join(ph, " "))
+	}
+	if len(out) == 0 {
+		return "—"
+	}
+	return strings.Join(out, ", ")
+}
+
+func minNonFailed(xs []float64) float64 {
+	min := -1.0
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		if min < 0 || x < min {
+			min = x
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// RuleGenOptions scales E3.
+type RuleGenOptions struct {
+	Seed       uint64
+	NumTypes   int     // default 120
+	TrainSize  int     // default 12000
+	TestSize   int     // default 6000
+	MinSupport float64 // default 0.02
+}
+
+func (o RuleGenOptions) withDefaults() RuleGenOptions {
+	if o.NumTypes == 0 {
+		o.NumTypes = 120
+	}
+	if o.TrainSize == 0 {
+		o.TrainSize = 12000
+	}
+	if o.TestSize == 0 {
+		o.TestSize = 6000
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.02
+	}
+	return o
+}
+
+// E3 reproduces the §5.2 evaluation: mine labeled data into candidate
+// rules, select with Greedy-Biased (α=0.7), verify that the high-confidence
+// set out-scores the low-confidence set and both clear the 92% gate, and
+// that deploying the generated rules cuts the system's declined items
+// (paper: 18% reduction) without dropping precision below the gate.
+// It also runs the Greedy-vs-Greedy-Biased ablation DESIGN.md calls out.
+func E3(opts RuleGenOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		ID:    "E3",
+		Title: "Rule generation from labeled data (§5.2)",
+		PaperClaim: "885K labeled items / 3707 types → 874K mined candidates → 63K high- + " +
+			"37K low-confidence rules (α=0.7); estimated precision 95% / 92%; deploying them " +
+			"cut declined items by 18% while precision stayed ≥92%.",
+		Headers: []string{"quantity", "measured", "paper (at production scale)"},
+		Notes: fmt.Sprintf("%d labeled items, %d types, AprioriAll min-support %.3f",
+			opts.TrainSize, opts.NumTypes, opts.MinSupport),
+	}
+
+	cat := catalog.New(catalog.Config{Seed: opts.Seed + 31, NumTypes: opts.NumTypes})
+	labeled := cat.LabeledData(opts.TrainSize)
+	res, err := mining.GenerateRules(labeled, mining.Options{MinSupport: opts.MinSupport})
+	if err != nil {
+		rep.Findingf("mining failed: %v", err)
+		return rep
+	}
+	rep.AddRow("labeled items", opts.TrainSize, "885K")
+	rep.AddRow("types in labeled data", len(res.PerType), "3707")
+	rep.AddRow("mined candidate rules", res.TotalCandidates, "874K")
+	rep.AddRow("selected high-confidence rules", len(res.High), "63K")
+	rep.AddRow("selected low-confidence rules", len(res.Low), "37K")
+
+	// Estimate precision of each set with the crowd, per the paper.
+	test := cat.GenerateBatch(catalog.BatchSpec{Size: opts.TestSize, Epoch: 0})
+	cr := crowd.New(crowd.Config{Seed: opts.Seed + 32})
+	rng := randx.New(opts.Seed + 33)
+	precOf := func(cands []mining.Candidate) float64 {
+		// Module-style estimate over the set's matches on fresh data.
+		sampled, correct := 0, 0
+		di := newDataIndex(test)
+		for _, c := range cands {
+			for _, m := range di.Matches(c.Rule) {
+				if sampled >= 600 {
+					break
+				}
+				if rng.Bool(0.25) {
+					continue
+				}
+				ok, err := cr.VerifyClaim(test[m].TrueType == c.Rule.TargetType)
+				if err != nil {
+					return 0
+				}
+				sampled++
+				if ok {
+					correct++
+				}
+			}
+		}
+		if sampled == 0 {
+			return 0
+		}
+		return float64(correct) / float64(sampled)
+	}
+	precHigh := precOf(res.High)
+	precLow := precOf(res.Low)
+	rep.AddRow("precision of high-confidence set", precHigh, "0.95")
+	rep.AddRow("precision of low-confidence set", precLow, "0.92")
+
+	// Deployment: decline-rate reduction on a pipeline without seed rules.
+	declBefore, declAfter, precBefore, precAfter := deployMinedRules(opts, cat, labeled, test, res)
+	reduction := 0.0
+	if declBefore > 0 {
+		reduction = (declBefore - declAfter) / declBefore
+	}
+	rep.AddRow("decline rate before deploying rules", declBefore, "—")
+	rep.AddRow("decline rate after deploying rules", declAfter, "—")
+	rep.AddRow("decline reduction", fmt.Sprintf("%.0f%%", 100*reduction), "18%")
+	rep.AddRow("pipeline precision before/after", fmt.Sprintf("%.3f / %.3f", precBefore, precAfter), "≥0.92 maintained")
+
+	// Ablation: Greedy vs Greedy-Biased mean selected confidence.
+	var allCands []mining.Candidate
+	for _, t := range sortedKeys(res.PerType) {
+		allCands = append(allCands, res.PerType[t]...)
+	}
+	plain := mining.Greedy(allCands, len(res.High)+len(res.Low))
+	biasedConf, plainConf := meanConf(append(append([]mining.Candidate{}, res.High...), res.Low...)), meanConf(plain)
+	rep.Findingf("ablation — mean confidence of selected rules: Greedy-Biased %.3f vs plain Greedy %.3f (the paper adopted the biased variant because analysts prefer high-confidence rules)",
+		biasedConf, plainConf)
+
+	rep.ShapeOK = res.TotalCandidates > len(res.High)+len(res.Low) &&
+		len(res.High) > 0 && len(res.Low) > 0 &&
+		precHigh >= precLow && precLow >= 0.85 &&
+		reduction > 0.05 && precAfter >= 0.9 && biasedConf >= plainConf
+	return rep
+}
+
+func meanConf(cands []mining.Candidate) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range cands {
+		s += c.Confidence
+	}
+	return s / float64(len(cands))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// deployMinedRules measures decline rates before/after adding the mined
+// rules to a learning-only pipeline.
+func deployMinedRules(opts RuleGenOptions, cat *catalog.Catalog, labeled, test []*catalog.Item, res *mining.Result) (declBefore, declAfter, precBefore, precAfter float64) {
+	p := chimera.New(chimera.Config{Seed: opts.Seed + 34, Workers: 8})
+	p.Train(labeled)
+	before := p.ProcessBatch(test)
+	declBefore = before.DeclineRate()
+	precBefore, _ = before.TruePrecisionRecall()
+
+	for _, r := range res.Selected() {
+		clone := *r
+		clone.ID = "" // fresh IDs inside this rulebase
+		recompiled, err := coreWhitelist(clone.Source, clone.TargetType, clone.Confidence)
+		if err != nil {
+			continue
+		}
+		_, _ = p.Rules.Add(recompiled, "mined")
+	}
+	after := p.ProcessBatch(test)
+	declAfter = after.DeclineRate()
+	precAfter, _ = after.TruePrecisionRecall()
+	return declBefore, declAfter, precBefore, precAfter
+}

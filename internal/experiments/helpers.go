@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// newDataIndex is a local alias keeping experiment files terse.
+func newDataIndex(items []*catalog.Item) *core.DataIndex {
+	return core.NewDataIndex(items)
+}
+
+// coreWhitelist builds a whitelist rule carrying a mined confidence score.
+func coreWhitelist(src, target string, conf float64) (*core.Rule, error) {
+	r, err := core.NewWhitelist(src, target)
+	if err != nil {
+		return nil, err
+	}
+	r.Confidence = conf
+	r.Provenance = "mined"
+	return r, nil
+}

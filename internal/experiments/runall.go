@@ -1,0 +1,51 @@
+package experiments
+
+// RunAll executes every experiment at its default (reduced) scale with the
+// given seed and returns the reports in E-number order. It is the engine
+// behind `cmd/experiments -all` and the source of EXPERIMENTS.md.
+func RunAll(seed uint64) []*Report {
+	return []*Report{
+		E1(ClassifyOptions{Seed: seed}),
+		E2(SynonymOptions{Seed: seed}),
+		E3(RuleGenOptions{Seed: seed}),
+		E4(ExecOptions{Seed: seed}),
+		E5(ExecOptions{Seed: seed}),
+		E6(EvalOptions{Seed: seed}),
+		E7(SisterOptions{Seed: seed}),
+		E8(SisterOptions{Seed: seed}),
+		E9(SisterOptions{Seed: seed}),
+		E10(ClassifyOptions{Seed: seed}),
+		E11(ExecOptions{Seed: seed}),
+	}
+}
+
+// ByID runs a single experiment by its identifier ("E1" … "E11"), returning
+// nil for unknown IDs.
+func ByID(id string, seed uint64) *Report {
+	switch id {
+	case "E1":
+		return E1(ClassifyOptions{Seed: seed})
+	case "E2":
+		return E2(SynonymOptions{Seed: seed})
+	case "E3":
+		return E3(RuleGenOptions{Seed: seed})
+	case "E4":
+		return E4(ExecOptions{Seed: seed})
+	case "E5":
+		return E5(ExecOptions{Seed: seed})
+	case "E6":
+		return E6(EvalOptions{Seed: seed})
+	case "E7":
+		return E7(SisterOptions{Seed: seed})
+	case "E8":
+		return E8(SisterOptions{Seed: seed})
+	case "E9":
+		return E9(SisterOptions{Seed: seed})
+	case "E10":
+		return E10(ClassifyOptions{Seed: seed})
+	case "E11":
+		return E11(ExecOptions{Seed: seed})
+	default:
+		return nil
+	}
+}

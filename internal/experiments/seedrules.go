@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// SeedRules builds the "analysts wrote the obvious rules" rulebase for a
+// catalog (§3.2 "The Obvious Cases"): whitelist rules from each type's
+// epoch-0 head terms and synonyms, gate rules for the trap phrases
+// ("wedding band" → rings), attribute-existence rules (isbn → books),
+// attribute-value constraints for brands sold by few types ("Apple" →
+// {laptop, phone, …}), and a handful of curated blacklists for the known
+// cross-type vocabulary collisions in the lexicon — exactly the repairs an
+// analyst makes after watching the first misclassifications.
+func SeedRules(cat *catalog.Catalog, rb *core.Rulebase, actor string) error {
+	// Tokens that appear as (single-token) head terms of more than one type
+	// are ambiguous; analysts skip those whitelists.
+	headCount := map[string]int{}
+	for _, ty := range cat.Types() {
+		for _, h := range ty.HeadTerms {
+			if !strings.Contains(h.Text, " ") {
+				headCount[h.Text]++
+			}
+		}
+	}
+
+	for _, ty := range cat.Types() {
+		terms := map[string]bool{}
+		for _, h := range ty.HeadTerms {
+			if h.EmergeEpoch == 0 {
+				terms[h.Text] = true
+			}
+		}
+		for _, s := range ty.Synonyms {
+			if s.EmergeEpoch == 0 {
+				terms[s.Text] = true
+			}
+		}
+		var sorted []string
+		for t := range terms {
+			if !strings.Contains(t, " ") && headCount[t] > 1 {
+				continue
+			}
+			sorted = append(sorted, t)
+		}
+		sort.Strings(sorted)
+		for _, term := range sorted {
+			r, err := core.NewWhitelist(term, ty.Name)
+			if err != nil {
+				return err
+			}
+			r.Provenance = "analyst-seed"
+			if _, err := rb.Add(r, actor); err != nil {
+				return err
+			}
+		}
+		for _, trap := range ty.Traps {
+			g, err := core.NewGate(trap, ty.Name)
+			if err != nil {
+				return err
+			}
+			g.Provenance = "analyst-seed"
+			if _, err := rb.Add(g, actor); err != nil {
+				return err
+			}
+		}
+		for attr := range ty.Attrs {
+			if attr != "isbn" {
+				continue // only isbn is discriminative enough for existence
+			}
+			a, err := core.NewAttrExists(attr, ty.Name)
+			if err != nil {
+				return err
+			}
+			a.Provenance = "analyst-seed"
+			if _, err := rb.Add(a, actor); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Brand constraints: brands sold by at most 5 types become AttrValue
+	// rules (the "Apple → laptop/phone" knowledge-base reasoning).
+	brandTypes := map[string][]string{}
+	for _, ty := range cat.Types() {
+		for _, b := range ty.Brands {
+			brandTypes[b] = append(brandTypes[b], ty.Name)
+		}
+	}
+	var brands []string
+	for b, tys := range brandTypes {
+		if len(tys) <= 5 {
+			brands = append(brands, b)
+		}
+	}
+	sort.Strings(brands)
+	for _, b := range brands {
+		tys := brandTypes[b]
+		sort.Strings(tys)
+		r, err := core.NewAttrValue("Brand Name", b, tys)
+		if err != nil {
+			return err
+		}
+		r.Provenance = "analyst-seed"
+		if _, err := rb.Add(r, actor); err != nil {
+			return err
+		}
+	}
+
+	// Curated blacklists for lexicon collisions analysts discovered.
+	blacklists := []struct{ src, target string }{
+		{"(computer | laptop | sleeve | ultrabook | chromebook)", "notebooks"},
+		{"(olive | coconut | cooking)", "motor oil"},
+		{"(laptop | notebook | messenger)", "books"},
+		{"toy rings?", "rings"},
+	}
+	for _, bl := range blacklists {
+		if cat.TypeByName(bl.target) == nil {
+			continue
+		}
+		r, err := core.NewBlacklist(bl.src, bl.target)
+		if err != nil {
+			return err
+		}
+		r.Provenance = "analyst-seed"
+		if _, err := rb.Add(r, actor); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package ie implements the §6 information-extraction substrate: rule-based
+// extraction of attribute-value pairs from product titles and descriptions,
+// as built at WalmartLabs. Three rule families from the paper:
+//
+//   - dictionary rules: a substring is extracted as a brand name if it
+//     approximately matches an entry in a brand dictionary AND the
+//     surrounding text conforms to a context pattern;
+//   - pattern rules: token regexes for weights, sizes and colors ("we found
+//     that instead of learning, it was easier to use regular expressions to
+//     capture the appearance patterns of such attributes");
+//   - normalization rules: "IBM", "IBM Inc.", "the Big Blue" → "IBM
+//     Corporation".
+//
+// A learned baseline (position-aware averaged perceptron token tagger)
+// stands in for the paper's CRF/structural-perceptron comparison.
+package ie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/tokenize"
+)
+
+// Extraction is one extracted attribute value.
+type Extraction struct {
+	Attr  string
+	Value string
+	// Start/End are token offsets in the source title.
+	Start, End int
+	RuleID     string
+}
+
+// Rule is the IE rule contract: rules inspect tokenized titles and emit
+// extractions. Implementations are managed through a Ruleset, which gives
+// them the enable/disable and provenance hooks the §4 agenda asks for.
+type Rule interface {
+	ID() string
+	Extract(tokens []string) []Extraction
+}
+
+// Ruleset is an ordered, switchable collection of IE rules.
+type Ruleset struct {
+	rules    []Rule
+	disabled map[string]bool
+}
+
+// NewRuleset wraps rules.
+func NewRuleset(rules ...Rule) *Ruleset {
+	return &Ruleset{rules: rules, disabled: map[string]bool{}}
+}
+
+// Add appends a rule.
+func (rs *Ruleset) Add(r Rule) { rs.rules = append(rs.rules, r) }
+
+// Disable turns a rule off by ID; Enable reverts it.
+func (rs *Ruleset) Disable(id string) { rs.disabled[id] = true }
+
+// Enable re-activates a rule by ID.
+func (rs *Ruleset) Enable(id string) { delete(rs.disabled, id) }
+
+// Extract runs all active rules over a title and resolves overlaps: when
+// two extractions of the same attribute overlap, the longer span wins (ties
+// to the earlier rule) — the same drop-overlapping-mentions policy the
+// entity-tagging pipeline of [3] uses.
+func (rs *Ruleset) Extract(title string) []Extraction {
+	tokens := tokenize.Tokenize(title)
+	var all []Extraction
+	for _, r := range rs.rules {
+		if rs.disabled[r.ID()] {
+			continue
+		}
+		all = append(all, r.Extract(tokens)...)
+	}
+	return resolveOverlaps(all)
+}
+
+func resolveOverlaps(all []Extraction) []Extraction {
+	sort.SliceStable(all, func(i, j int) bool {
+		li, lj := all[i].End-all[i].Start, all[j].End-all[j].Start
+		if li != lj {
+			return li > lj
+		}
+		return all[i].Start < all[j].Start
+	})
+	var out []Extraction
+	for _, e := range all {
+		clash := false
+		for _, kept := range out {
+			if kept.Attr == e.Attr && e.Start < kept.End && kept.Start < e.End {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary rules (brand extraction)
+// ---------------------------------------------------------------------------
+
+// DictRule extracts dictionary entries appearing in the title. Entries may
+// span several tokens. MaxEditDistance>0 allows approximate single-token
+// matches ("sander" ≈ "sanders"); context constraints, when set, require a
+// neighbouring token condition to hold, mirroring the paper's "the text
+// surrounding s conforms to a pre-specified pattern".
+type DictRule struct {
+	RuleID string
+	Attr   string
+	// Entries maps canonical dictionary phrases (lower-case, single-space).
+	Entries map[string]bool
+	// MaxEditDistance for approximate matching of single-token entries.
+	MaxEditDistance int
+	// RequireContext, when non-nil, must approve (prevToken, nextToken);
+	// empty strings mark the title boundary.
+	RequireContext func(prev, next string) bool
+
+	maxEntryTokens int
+}
+
+// NewDictRule builds a dictionary rule from a list of phrases.
+func NewDictRule(id, attr string, phrases []string, maxEdit int) *DictRule {
+	d := &DictRule{RuleID: id, Attr: attr, Entries: map[string]bool{}, MaxEditDistance: maxEdit}
+	for _, ph := range phrases {
+		toks := tokenize.Tokenize(ph)
+		if len(toks) == 0 {
+			continue
+		}
+		d.Entries[strings.Join(toks, " ")] = true
+		if len(toks) > d.maxEntryTokens {
+			d.maxEntryTokens = len(toks)
+		}
+	}
+	return d
+}
+
+// ID implements Rule.
+func (d *DictRule) ID() string { return d.RuleID }
+
+// Extract implements Rule.
+func (d *DictRule) Extract(tokens []string) []Extraction {
+	var out []Extraction
+	for start := 0; start < len(tokens); start++ {
+		for l := d.maxEntryTokens; l >= 1; l-- {
+			end := start + l
+			if end > len(tokens) {
+				continue
+			}
+			phrase := strings.Join(tokens[start:end], " ")
+			matched, canonical := d.lookup(phrase, l)
+			if !matched {
+				continue
+			}
+			if d.RequireContext != nil {
+				prev, next := "", ""
+				if start > 0 {
+					prev = tokens[start-1]
+				}
+				if end < len(tokens) {
+					next = tokens[end]
+				}
+				if !d.RequireContext(prev, next) {
+					continue
+				}
+			}
+			out = append(out, Extraction{Attr: d.Attr, Value: canonical, Start: start, End: end, RuleID: d.RuleID})
+			break // longest match at this start position wins
+		}
+	}
+	return out
+}
+
+func (d *DictRule) lookup(phrase string, nTokens int) (bool, string) {
+	if d.Entries[phrase] {
+		return true, phrase
+	}
+	if d.MaxEditDistance > 0 && nTokens == 1 && len(phrase) > 4 {
+		for entry := range d.Entries {
+			if strings.Contains(entry, " ") {
+				continue
+			}
+			if tokenize.EditDistance(phrase, entry) <= d.MaxEditDistance {
+				return true, entry
+			}
+		}
+	}
+	return false, ""
+}
+
+// ---------------------------------------------------------------------------
+// Pattern rules (weights, sizes, colors)
+// ---------------------------------------------------------------------------
+
+// UnitRule extracts 〈number unit〉 token pairs (and fused forms like "38in")
+// for a unit family, e.g. weights (oz, lb, qt) or sizes (inch, ft, mm).
+type UnitRule struct {
+	RuleID string
+	Attr   string
+	// Units maps accepted unit tokens to the canonical unit.
+	Units map[string]string
+}
+
+// ID implements Rule.
+func (u *UnitRule) ID() string { return u.RuleID }
+
+// Extract implements Rule.
+func (u *UnitRule) Extract(tokens []string) []Extraction {
+	var out []Extraction
+	for i, tok := range tokens {
+		// Form 1: "5 qt" — numeric token followed by a unit token.
+		if isNumeric(tok) && i+1 < len(tokens) {
+			if canon, ok := u.Units[tokens[i+1]]; ok {
+				out = append(out, Extraction{
+					Attr: u.Attr, Value: tok + " " + canon,
+					Start: i, End: i + 2, RuleID: u.RuleID,
+				})
+				continue
+			}
+		}
+		// Form 2: "38in" / "12oz" — fused number+unit.
+		if num, unit, ok := splitFused(tok); ok {
+			if canon, ok := u.Units[unit]; ok {
+				out = append(out, Extraction{
+					Attr: u.Attr, Value: num + " " + canon,
+					Start: i, End: i + 1, RuleID: u.RuleID,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for _, r := range s {
+		if r == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func splitFused(s string) (num, unit string, ok bool) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return "", "", false
+	}
+	if !isNumeric(s[:i]) {
+		return "", "", false
+	}
+	return s[:i], s[i:], true
+}
+
+// ---------------------------------------------------------------------------
+// Normalization rules
+// ---------------------------------------------------------------------------
+
+// Normalizer maps extracted value variants to canonical forms — the "IBM
+// Inc." → "IBM Corporation" rules. Unknown values pass through unchanged.
+type Normalizer struct {
+	RuleID string
+	// Canon maps lower-case variants to the canonical rendering.
+	Canon map[string]string
+}
+
+// NewNormalizer builds a normalizer from canonical → variants lists.
+func NewNormalizer(id string, groups map[string][]string) *Normalizer {
+	n := &Normalizer{RuleID: id, Canon: map[string]string{}}
+	for canonical, variants := range groups {
+		n.Canon[strings.ToLower(canonical)] = canonical
+		for _, v := range variants {
+			n.Canon[strings.ToLower(v)] = canonical
+		}
+	}
+	return n
+}
+
+// Normalize rewrites the extraction values in place and returns the slice.
+func (n *Normalizer) Normalize(es []Extraction) []Extraction {
+	for i := range es {
+		if canon, ok := n.Canon[strings.ToLower(es[i].Value)]; ok {
+			es[i].Value = canon
+		}
+	}
+	return es
+}
+
+// ---------------------------------------------------------------------------
+// Extractor: rules + normalization end to end
+// ---------------------------------------------------------------------------
+
+// Extractor bundles a ruleset with per-attribute normalizers.
+type Extractor struct {
+	Rules       *Ruleset
+	Normalizers []*Normalizer
+}
+
+// Extract runs rules then normalization on an item's title.
+func (x *Extractor) Extract(it *catalog.Item) []Extraction {
+	es := x.Rules.Extract(it.Title())
+	for _, n := range x.Normalizers {
+		es = n.Normalize(es)
+	}
+	return es
+}
+
+// Describe summarizes the extractor for operators.
+func (x *Extractor) Describe() string {
+	return fmt.Sprintf("ie: %d rules (%d disabled), %d normalizers",
+		len(x.Rules.rules), len(x.Rules.disabled), len(x.Normalizers))
+}

@@ -1,0 +1,213 @@
+package ie
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/tokenize"
+)
+
+func brandDict() *DictRule {
+	return NewDictRule("dict-brand", "Brand Name",
+		[]string{"apex", "luboil", "dickies", "royal weave", "forever fine"}, 1)
+}
+
+func TestDictRuleExactAndMultiToken(t *testing.T) {
+	d := brandDict()
+	es := d.Extract(tokenize.Tokenize("Royal Weave oriental area rug 5x8"))
+	if len(es) != 1 || es[0].Value != "royal weave" || es[0].Start != 0 || es[0].End != 2 {
+		t.Fatalf("multi-token dict extraction wrong: %+v", es)
+	}
+}
+
+func TestDictRuleApproximateMatch(t *testing.T) {
+	d := brandDict()
+	es := d.Extract(tokenize.Tokenize("dickis relaxed fit jeans")) // typo, distance 1
+	if len(es) != 1 || es[0].Value != "dickies" {
+		t.Fatalf("approximate match failed: %+v", es)
+	}
+	// Short tokens must not fuzzy-match (guard length > 4).
+	es = d.Extract(tokenize.Tokenize("apx cable"))
+	if len(es) != 0 {
+		t.Fatalf("short token fuzzy match should be off: %+v", es)
+	}
+}
+
+func TestDictRuleContextConstraint(t *testing.T) {
+	d := brandDict()
+	d.RequireContext = func(prev, next string) bool { return prev == "" || prev == "by" }
+	es := d.Extract(tokenize.Tokenize("apex quad core laptop"))
+	if len(es) != 1 {
+		t.Fatalf("title-initial brand should extract: %+v", es)
+	}
+	es = d.Extract(tokenize.Tokenize("quad core apex laptop"))
+	if len(es) != 0 {
+		t.Fatalf("mid-title brand without 'by' must not extract: %+v", es)
+	}
+	es = d.Extract(tokenize.Tokenize("laptop by apex deluxe"))
+	if len(es) != 1 {
+		t.Fatalf("'by apex' should extract: %+v", es)
+	}
+}
+
+func weightRule() *UnitRule {
+	return &UnitRule{RuleID: "unit-weight", Attr: "Weight", Units: map[string]string{
+		"oz": "oz", "lb": "lb", "qt": "qt", "ml": "ml", "gal": "gal",
+	}}
+}
+
+func sizeRule() *UnitRule {
+	return &UnitRule{RuleID: "unit-size", Attr: "Size", Units: map[string]string{
+		"in": "inch", "inch": "inch", "ft": "ft", "mm": "mm",
+	}}
+}
+
+func TestUnitRuleForms(t *testing.T) {
+	w := weightRule()
+	es := w.Extract(tokenize.Tokenize("castrol motor oil 5 qt jug"))
+	if len(es) != 1 || es[0].Value != "5 qt" {
+		t.Fatalf("split form failed: %+v", es)
+	}
+	es = w.Extract(tokenize.Tokenize("roast coffee 12oz bag"))
+	if len(es) != 1 || es[0].Value != "12 oz" {
+		t.Fatalf("fused form failed: %+v", es)
+	}
+	es = sizeRule().Extract(tokenize.Tokenize("dickies 38in. x 30in. jeans"))
+	if len(es) != 2 || es[0].Value != "38 inch" || es[1].Value != "30 inch" {
+		t.Fatalf("fused inches failed: %+v", es)
+	}
+}
+
+func TestUnitRuleDecimal(t *testing.T) {
+	es := sizeRule().Extract(tokenize.Tokenize("laptop 15.6 inch display"))
+	if len(es) != 1 || es[0].Value != "15.6 inch" {
+		t.Fatalf("decimal failed: %+v", es)
+	}
+}
+
+func TestUnitRuleNoFalsePositives(t *testing.T) {
+	es := weightRule().Extract(tokenize.Tokenize("pack of three quarts"))
+	if len(es) != 0 {
+		t.Fatalf("no numeric token → no extraction: %+v", es)
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	n := NewNormalizer("norm-brand", map[string][]string{
+		"IBM Corporation": {"ibm", "ibm inc", "the big blue"},
+	})
+	es := n.Normalize([]Extraction{{Attr: "Brand Name", Value: "ibm inc"}})
+	if es[0].Value != "IBM Corporation" {
+		t.Fatalf("normalization failed: %+v", es[0])
+	}
+	es = n.Normalize([]Extraction{{Attr: "Brand Name", Value: "unknown brand"}})
+	if es[0].Value != "unknown brand" {
+		t.Fatal("unknown values must pass through")
+	}
+}
+
+func TestRulesetOverlapResolution(t *testing.T) {
+	rs := NewRuleset(brandDict())
+	// Add a competing single-token dict whose match is inside the longer one.
+	rs.Add(NewDictRule("dict-short", "Brand Name", []string{"royal"}, 0))
+	es := rs.Extract("Royal Weave oriental rug")
+	if len(es) != 1 || es[0].Value != "royal weave" {
+		t.Fatalf("longest span should win: %+v", es)
+	}
+}
+
+func TestRulesetDisableEnable(t *testing.T) {
+	rs := NewRuleset(brandDict())
+	rs.Disable("dict-brand")
+	if es := rs.Extract("apex laptop"); len(es) != 0 {
+		t.Fatalf("disabled rule fired: %+v", es)
+	}
+	rs.Enable("dict-brand")
+	if es := rs.Extract("apex laptop"); len(es) != 1 {
+		t.Fatal("re-enabled rule silent")
+	}
+}
+
+func TestExtractorEndToEnd(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 91, NumTypes: 40})
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 3000, Epoch: 0})
+
+	// Build the brand dictionary from the taxonomy (the paper's "large given
+	// dictionary of brand names").
+	brandSet := map[string]bool{}
+	for _, ty := range cat.Types() {
+		for _, b := range ty.Brands {
+			brandSet[b] = true
+		}
+	}
+	var brands []string
+	for b := range brandSet {
+		brands = append(brands, b)
+	}
+	x := &Extractor{Rules: NewRuleset(NewDictRule("dict-brand", "Brand Name", brands, 0))}
+
+	prec, rec := EvaluateExtractor(x.Extract, items, "Brand Name")
+	if prec < 0.9 {
+		t.Fatalf("dictionary brand extraction precision %.3f < 0.9", prec)
+	}
+	if rec < 0.4 {
+		t.Fatalf("brand recall %.3f too low (brands appear in ~55%% of titles)", rec)
+	}
+}
+
+func TestLearnedTaggerTrainsAndExtracts(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 92, NumTypes: 40})
+	train := cat.GenerateBatch(catalog.BatchSpec{Size: 4000, Epoch: 0})
+	test := cat.GenerateBatch(catalog.BatchSpec{Size: 1500, Epoch: 0})
+
+	tagger := NewTokenTagger("Brand Name", 4)
+	tagger.Train(train)
+	if len(tagger.TopFeatures(5)) == 0 {
+		t.Fatal("tagger learned nothing")
+	}
+	prec, rec := EvaluateExtractor(func(it *catalog.Item) []Extraction {
+		return tagger.Extract(it.TitleTokens())
+	}, test, "Brand Name")
+	if prec < 0.5 || rec < 0.3 {
+		t.Fatalf("learned baseline too weak: p=%.3f r=%.3f", prec, rec)
+	}
+}
+
+func TestRulesBeatLearnedOnPrecision(t *testing.T) {
+	// §6 / [8]: rule-based IE dominates industry partly because dictionary
+	// rules are precise. Verify the ordering on brand extraction.
+	cat := catalog.New(catalog.Config{Seed: 93, NumTypes: 40})
+	train := cat.GenerateBatch(catalog.BatchSpec{Size: 4000, Epoch: 0})
+	test := cat.GenerateBatch(catalog.BatchSpec{Size: 1500, Epoch: 0})
+
+	brandSet := map[string]bool{}
+	for _, ty := range cat.Types() {
+		for _, b := range ty.Brands {
+			brandSet[b] = true
+		}
+	}
+	var brands []string
+	for b := range brandSet {
+		brands = append(brands, b)
+	}
+	dict := &Extractor{Rules: NewRuleset(NewDictRule("dict-brand", "Brand Name", brands, 0))}
+	dictPrec, _ := EvaluateExtractor(dict.Extract, test, "Brand Name")
+
+	tagger := NewTokenTagger("Brand Name", 4)
+	tagger.Train(train)
+	learnedPrec, _ := EvaluateExtractor(func(it *catalog.Item) []Extraction {
+		return tagger.Extract(it.TitleTokens())
+	}, test, "Brand Name")
+
+	if dictPrec < learnedPrec {
+		t.Fatalf("dictionary rules should win on precision: %.3f vs %.3f", dictPrec, learnedPrec)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	x := &Extractor{Rules: NewRuleset(brandDict()), Normalizers: []*Normalizer{NewNormalizer("n", nil)}}
+	if !strings.Contains(x.Describe(), "1 rules") {
+		t.Fatalf("describe: %s", x.Describe())
+	}
+}

@@ -1,0 +1,250 @@
+package ie
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/tokenize"
+)
+
+// TokenTagger is the learned IE baseline of §6: an averaged-perceptron
+// token classifier (a CRF-lite stand-in) that labels each title token as
+// part of the target attribute's value or not. It trains from items whose
+// attribute value is visible in the title (distant supervision, the way the
+// WalmartLabs team bootstraps from the catalog's structured attributes).
+type TokenTagger struct {
+	Attr   string
+	Epochs int
+
+	weights map[string]float64 // feature → averaged weight (binary: in-value vs out)
+}
+
+// NewTokenTagger builds an untrained tagger for attr (e.g. "Brand Name").
+func NewTokenTagger(attr string, epochs int) *TokenTagger {
+	if epochs <= 0 {
+		epochs = 4
+	}
+	return &TokenTagger{Attr: attr, Epochs: epochs}
+}
+
+// tokenFeatures extracts positional and lexical features for token i.
+func tokenFeatures(tokens []string, i int) []string {
+	f := []string{
+		"w=" + tokens[i],
+		"pos0=" + boolStr(i == 0),
+	}
+	if i > 0 {
+		f = append(f, "prev="+tokens[i-1])
+	} else {
+		f = append(f, "prev=<s>")
+	}
+	if i+1 < len(tokens) {
+		f = append(f, "next="+tokens[i+1])
+	} else {
+		f = append(f, "next=</s>")
+	}
+	if isNumeric(tokens[i]) {
+		f = append(f, "numeric")
+	}
+	return f
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Train fits the tagger on items whose Attr value occurs in the title.
+func (t *TokenTagger) Train(items []*catalog.Item) {
+	type example struct {
+		feats []string
+		label bool
+	}
+	var examples []example
+	for _, it := range items {
+		val, ok := it.Attrs[t.Attr]
+		if !ok {
+			continue
+		}
+		valTokens := tokenize.Tokenize(val)
+		if len(valTokens) == 0 {
+			continue
+		}
+		tokens := it.TitleTokens()
+		inVal := markSpan(tokens, valTokens)
+		if inVal == nil {
+			continue // value not visible in the title
+		}
+		for i := range tokens {
+			examples = append(examples, example{tokenFeatures(tokens, i), inVal[i]})
+		}
+	}
+	w := map[string]float64{}
+	acc := map[string]float64{}
+	steps := t.Epochs * len(examples)
+	step := 0
+	for e := 0; e < t.Epochs; e++ {
+		for _, ex := range examples {
+			step++
+			score := 0.0
+			for _, f := range ex.feats {
+				score += w[f]
+			}
+			pred := score > 0
+			if pred != ex.label {
+				delta := 1.0
+				if !ex.label {
+					delta = -1
+				}
+				remain := float64(steps - step + 1)
+				for _, f := range ex.feats {
+					w[f] += delta
+					acc[f] += delta * remain
+				}
+			}
+		}
+	}
+	t.weights = map[string]float64{}
+	for f, v := range acc {
+		if v != 0 {
+			t.weights[f] = v / math.Max(1, float64(steps))
+		}
+	}
+}
+
+// markSpan returns a per-token in-value mask if valTokens occurs
+// contiguously in tokens, else nil.
+func markSpan(tokens, valTokens []string) []bool {
+	for start := 0; start+len(valTokens) <= len(tokens); start++ {
+		match := true
+		for k, vt := range valTokens {
+			if tokens[start+k] != vt {
+				match = false
+				break
+			}
+		}
+		if match {
+			mask := make([]bool, len(tokens))
+			for k := range valTokens {
+				mask[start+k] = true
+			}
+			return mask
+		}
+	}
+	return nil
+}
+
+// Extract implements the Rule interface: contiguous runs of positive tokens
+// become extractions.
+func (t *TokenTagger) Extract(tokens []string) []Extraction {
+	if t.weights == nil {
+		return nil
+	}
+	var out []Extraction
+	i := 0
+	for i < len(tokens) {
+		score := 0.0
+		for _, f := range tokenFeatures(tokens, i) {
+			score += t.weights[f]
+		}
+		if score <= 0 {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(tokens) {
+			s := 0.0
+			for _, f := range tokenFeatures(tokens, j) {
+				s += t.weights[f]
+			}
+			if s <= 0 {
+				break
+			}
+			j++
+		}
+		val := tokens[i]
+		for k := i + 1; k < j; k++ {
+			val += " " + tokens[k]
+		}
+		out = append(out, Extraction{Attr: t.Attr, Value: val, Start: i, End: j, RuleID: t.ID()})
+		i = j
+	}
+	return out
+}
+
+// ID implements Rule.
+func (t *TokenTagger) ID() string { return "learned-" + t.Attr }
+
+// EvaluateExtractor measures precision/recall of attribute extraction
+// against the catalog's structured attributes (token-level match). Items
+// without the attribute carry no verifiable truth, so only items that have
+// it count — toward both precision (emissions elsewhere are unverifiable)
+// and recall.
+func EvaluateExtractor(extract func(*catalog.Item) []Extraction, items []*catalog.Item, attr string) (precision, recall float64) {
+	var emitted, correct, withAttr int
+	for _, it := range items {
+		truth, has := it.Attrs[attr]
+		if !has {
+			continue
+		}
+		withAttr++
+		for _, e := range extract(it) {
+			if e.Attr != attr {
+				continue
+			}
+			emitted++
+			if equalsFold(e.Value, truth) {
+				correct++
+			}
+		}
+	}
+	if emitted > 0 {
+		precision = float64(correct) / float64(emitted)
+	}
+	if withAttr > 0 {
+		recall = float64(correct) / float64(withAttr)
+	}
+	return precision, recall
+}
+
+func equalsFold(a, b string) bool {
+	ta, tb := tokenize.Tokenize(a), tokenize.Tokenize(b)
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopFeatures exposes the tagger's strongest features for diagnostics.
+func (t *TokenTagger) TopFeatures(n int) []string {
+	type fw struct {
+		f string
+		w float64
+	}
+	var all []fw
+	for f, w := range t.weights {
+		all = append(all, fw{f, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].f < all[j].f
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].f
+	}
+	return out
+}

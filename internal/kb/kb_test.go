@@ -1,0 +1,183 @@
+package kb
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func buildEpoch(t *testing.T, epoch int) *KB {
+	t.Helper()
+	return Build(SyntheticSource(7, epoch))
+}
+
+func TestBuildBasics(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	cats, ents, aliases := kb.Stats()
+	if cats == 0 || ents == 0 || aliases == 0 {
+		t.Fatalf("empty KB: %d/%d/%d", cats, ents, aliases)
+	}
+	if got := kb.Parents("politicians"); len(got) != 1 || got[0] != "people" {
+		t.Fatalf("politicians parents = %v", got)
+	}
+	if kb.Entity("barack obama") == nil {
+		t.Fatal("entity missing")
+	}
+	if kb.ResolveAlias("Obama") != "barack obama" {
+		t.Fatalf("alias resolution failed: %q", kb.ResolveAlias("Obama"))
+	}
+	if kb.HasCycle() {
+		t.Fatal("fresh taxonomy should be acyclic")
+	}
+}
+
+func TestEpochChurn(t *testing.T) {
+	kb0 := buildEpoch(t, 0)
+	kb2 := buildEpoch(t, 2)
+	_, e0, _ := kb0.Stats()
+	_, e2, _ := kb2.Stats()
+	if e2 <= e0 {
+		t.Fatal("later epochs should grow the entity table")
+	}
+	// Spurious edge appears at epoch ≥ 1.
+	if got := kb2.Parents("politicians"); len(got) != 2 {
+		t.Fatalf("epoch-2 source should add the spurious edge: %v", got)
+	}
+	// Upstream rename at epoch 2.
+	if kb2.Entity("acme corporation") != nil || kb2.Entity("acme global") == nil {
+		t.Fatal("upstream rename not reflected")
+	}
+}
+
+func TestCurationRemoveAddEdge(t *testing.T) {
+	kb := buildEpoch(t, 1)
+	log := &CurationLog{}
+	log.Append(CurationRule{Op: "remove-edge", Child: "politicians", Parent: "entertainment", Author: "ana"})
+	rep := log.Replay(kb)
+	if rep.Applied != 1 || len(rep.Errors) != 0 {
+		t.Fatalf("replay report: %+v", rep)
+	}
+	if got := kb.Parents("politicians"); len(got) != 1 || got[0] != "people" {
+		t.Fatalf("edge not removed: %v", got)
+	}
+	// Replaying on a rebuilt epoch-0 KB (edge absent) is a no-op, not error.
+	kb0 := buildEpoch(t, 0)
+	rep = log.Replay(kb0)
+	if rep.Applied != 0 || rep.NoOps != 1 {
+		t.Fatalf("no-op replay report: %+v", rep)
+	}
+}
+
+func TestCurationSurvivesRebuild(t *testing.T) {
+	// The §6 flow: curate once, rebuild from a fresh (changed) source, and
+	// replay the log — the fixes reapply without manual work.
+	log := &CurationLog{}
+	log.Append(CurationRule{Op: "remove-edge", Child: "politicians", Parent: "entertainment"})
+	log.Append(CurationRule{Op: "blacklist-entity", Entity: "initech"})
+	log.Append(CurationRule{Op: "add-alias", Entity: "lionel messi", Alias: "la pulga"})
+
+	for epoch := 1; epoch <= 3; epoch++ {
+		kb := buildEpoch(t, epoch)
+		rep := log.Replay(kb)
+		if len(rep.Errors) != 0 {
+			t.Fatalf("epoch %d: replay errors %v", epoch, rep.Errors)
+		}
+		if got := kb.Parents("politicians"); len(got) != 1 {
+			t.Fatalf("epoch %d: spurious edge survived: %v", epoch, got)
+		}
+		if kb.Entity("initech") != nil {
+			t.Fatalf("epoch %d: blacklisted entity back", epoch)
+		}
+		if kb.ResolveAlias("la pulga") != "lionel messi" {
+			t.Fatalf("epoch %d: alias lost", epoch)
+		}
+		if kb.HasCycle() {
+			t.Fatalf("epoch %d: curation introduced a cycle", epoch)
+		}
+	}
+}
+
+func TestCurationRename(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	log := &CurationLog{}
+	log.Append(CurationRule{Op: "rename-entity", From: "globex", To: "globex worldwide"})
+	rep := log.Replay(kb)
+	if rep.Applied != 1 {
+		t.Fatalf("rename not applied: %+v", rep)
+	}
+	if kb.Entity("globex") != nil || kb.Entity("globex worldwide") == nil {
+		t.Fatal("rename broken")
+	}
+	if kb.ResolveAlias("globex") != "globex worldwide" {
+		t.Fatal("old name should remain an alias")
+	}
+	if kb.ResolveAlias("globex inc") != "globex worldwide" {
+		t.Fatal("existing aliases should follow the rename")
+	}
+}
+
+func TestCurationUnknownOp(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	log := &CurationLog{}
+	log.Append(CurationRule{Op: "explode"})
+	rep := log.Replay(kb)
+	if len(rep.Errors) != 1 {
+		t.Fatalf("unknown op should error: %+v", rep)
+	}
+}
+
+func TestCurationAddEdgeValidation(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	if _, err := (CurationRule{Op: "add-edge"}).Apply(kb); err == nil {
+		t.Fatal("add-edge without endpoints should error")
+	}
+	changed, err := (CurationRule{Op: "add-edge", Child: "tennis", Parent: "entertainment"}).Apply(kb)
+	if err != nil || !changed {
+		t.Fatalf("add-edge failed: %v %v", changed, err)
+	}
+	// Idempotent.
+	changed, _ = (CurationRule{Op: "add-edge", Child: "tennis", Parent: "entertainment"}).Apply(kb)
+	if changed {
+		t.Fatal("duplicate edge should be a no-op")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	_, _ = (CurationRule{Op: "add-edge", Child: "people", Parent: "politicians"}).Apply(kb)
+	if !kb.HasCycle() {
+		t.Fatal("people→politicians→people should be a cycle")
+	}
+}
+
+func TestCurationLogJSONRoundTrip(t *testing.T) {
+	log := &CurationLog{}
+	log.Append(CurationRule{Op: "remove-edge", Child: "a", Parent: "b", Author: "ana"})
+	log.Append(CurationRule{Op: "add-alias", Entity: "x", Alias: "y"})
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CurationLog
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rules) != 2 || back.Rules[0].Author != "ana" {
+		t.Fatalf("round trip lost rules: %+v", back.Rules)
+	}
+}
+
+func TestAliasIndexCopy(t *testing.T) {
+	kb := buildEpoch(t, 0)
+	idx := kb.AliasIndex()
+	idx["obama"] = []string{"someone else"}
+	if kb.ResolveAlias("obama") != "barack obama" {
+		t.Fatal("AliasIndex should return a copy")
+	}
+	idx2 := kb.AliasIndex()
+	if len(idx2["phoenix"]) > 0 {
+		idx2["phoenix"][0] = "mutated"
+		if kb.ResolveAll("phoenix")[0] == "mutated" {
+			t.Fatal("AliasIndex slices must be copies")
+		}
+	}
+}

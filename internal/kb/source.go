@@ -1,0 +1,90 @@
+package kb
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// SyntheticSource generates the Wikipedia-snapshot stand-in: a category
+// tree (domains → topics), entities with aliases, and — at later epochs —
+// churn: new entities appear, some categories gain spurious edges (the kind
+// analysts remove), and some entities get renamed upstream. The churn is
+// what makes curation-rule replay meaningful.
+func SyntheticSource(seed uint64, epoch int) *Source {
+	r := randx.New(seed).Split(fmt.Sprintf("kb-source-%d", epoch))
+	src := &Source{}
+
+	domains := []string{"people", "places", "organizations", "sports", "technology", "entertainment"}
+	topics := map[string][]string{
+		"people":        {"politicians", "athletes", "musicians", "actors"},
+		"places":        {"cities", "countries", "landmarks"},
+		"organizations": {"companies", "teams", "agencies"},
+		"sports":        {"football", "basketball", "tennis"},
+		"technology":    {"gadgets", "software", "startups"},
+		"entertainment": {"films", "television", "awards"},
+	}
+	for _, d := range domains {
+		src.Pages = append(src.Pages, Page{Name: d, Kind: "category"})
+		for _, t := range topics[d] {
+			src.Pages = append(src.Pages, Page{Name: t, Kind: "category", Parents: []string{d}})
+		}
+	}
+	// Spurious edge churn: from epoch 1 on, the raw source claims
+	// "politicians" under "entertainment" (the classic miscategorization
+	// analysts fix with a remove-edge + add-edge pair).
+	if epoch >= 1 {
+		src.Pages = append(src.Pages, Page{Name: "politicians", Kind: "category", Parents: []string{"entertainment"}})
+	}
+
+	type seedEntity struct {
+		name    string
+		topic   string
+		aliases []string
+		// renamedAt, if >0, renames the page upstream at that epoch.
+		renamedAt int
+		renamedTo string
+	}
+	seeds := []seedEntity{
+		{name: "barack obama", topic: "politicians", aliases: []string{"obama", "president obama"}},
+		{name: "angela merkel", topic: "politicians", aliases: []string{"merkel", "chancellor merkel"}},
+		{name: "serena williams", topic: "athletes", aliases: []string{"serena"}},
+		{name: "lionel messi", topic: "athletes", aliases: []string{"messi", "leo messi"}},
+		{name: "taylor swift", topic: "musicians", aliases: []string{"swift", "t swift"}},
+		{name: "melbourne", topic: "cities", aliases: []string{"melb"}},
+		// A deliberately ambiguous alias: "phoenix" names both the city and
+		// the team; the tagging pipeline must disambiguate by context.
+		{name: "phoenix", topic: "cities", aliases: []string{"phx", "phoenix arizona"}},
+		{name: "phoenix firebirds", topic: "teams", aliases: []string{"firebirds", "phoenix"}},
+		{name: "san francisco", topic: "cities", aliases: []string{"sf", "san fran"}},
+		{name: "acme corporation", topic: "companies", aliases: []string{"acme", "acme corp"},
+			renamedAt: 2, renamedTo: "acme global"},
+		{name: "globex", topic: "companies", aliases: []string{"globex inc"}},
+		{name: "initech", topic: "startups", aliases: []string{}},
+		{name: "river city rovers", topic: "teams", aliases: []string{"rovers", "the rovers"}},
+		{name: "harbor city hawks", topic: "teams", aliases: []string{"hawks"}},
+		{name: "world cup", topic: "football", aliases: []string{"the cup"}},
+		{name: "grand slam open", topic: "tennis", aliases: []string{"the open"}},
+		{name: "moonrise festival", topic: "awards", aliases: []string{"moonrise"}},
+	}
+	for _, se := range seeds {
+		name := se.name
+		if se.renamedAt > 0 && epoch >= se.renamedAt {
+			name = se.renamedTo
+		}
+		src.Pages = append(src.Pages, Page{Name: name, Kind: "entity", Parents: []string{se.topic}, Aliases: se.aliases})
+	}
+	// Epoch growth: n new long-tail entities per epoch.
+	for e := 1; e <= epoch; e++ {
+		for i := 0; i < 5; i++ {
+			topic := topics[domains[r.Intn(len(domains))]]
+			name := fmt.Sprintf("entity-e%d-%d", e, i)
+			src.Pages = append(src.Pages, Page{
+				Name: name, Kind: "entity",
+				Parents: []string{topic[r.Intn(len(topic))]},
+				Aliases: []string{fmt.Sprintf("e%d%d", e, i)},
+			})
+		}
+	}
+	return src
+}

@@ -1,0 +1,557 @@
+// Package learn implements the learning-based classifiers of the paper's
+// §3.1 default solution — the families Chimera's ensemble uses: multinomial
+// Naive Bayes, k-nearest-neighbour over TF-IDF cosine (with an inverted
+// index), and an averaged multiclass perceptron standing in for the linear
+// SVM. A weighted-vote ensemble combines them.
+//
+// Everything trains on catalog items and predicts ranked (type, score)
+// lists; scores are calibrated to [0,1] so the Voting Master can threshold
+// them uniformly.
+package learn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/tokenize"
+)
+
+// Prediction is one ranked class guess.
+type Prediction struct {
+	Type  string
+	Score float64 // in [0,1], higher is more confident
+}
+
+// Classifier is the common train/predict contract. Train replaces any
+// previous model. Predict returns predictions sorted by descending score;
+// implementations return nil when they cannot make a prediction at all.
+type Classifier interface {
+	Name() string
+	Train(items []*catalog.Item)
+	Predict(it *catalog.Item) []Prediction
+}
+
+// Features extracts the feature multiset for an item: normalized title
+// unigrams, title bigrams, attribute-presence features (attr:isbn — the
+// "if a product has an attribute called isbn it is a book" signal), and
+// brand-value features.
+func Features(it *catalog.Item) []string {
+	tokens := tokenize.NormalizeTokens(it.TitleTokens())
+	feats := make([]string, 0, len(tokens)*2+4)
+	feats = append(feats, tokens...)
+	for i := 0; i+1 < len(tokens); i++ {
+		feats = append(feats, tokens[i]+"_"+tokens[i+1])
+	}
+	// Attribute names are appended in sorted order: feature-vector order
+	// feeds floating-point sums in the learners, and map iteration order
+	// would make those sums (and near-tie predictions) vary across runs.
+	attrs := make([]string, 0, len(it.Attrs))
+	for attr := range it.Attrs {
+		switch attr {
+		case "Title", "Description":
+			continue
+		}
+		attrs = append(attrs, attr)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		feats = append(feats, "attr:"+strings.ToLower(attr))
+	}
+	if b, ok := it.Attrs["Brand Name"]; ok {
+		feats = append(feats, "brand:"+strings.ToLower(b))
+	}
+	return feats
+}
+
+func sortPredictions(ps []Prediction) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		return ps[i].Type < ps[j].Type
+	})
+}
+
+// topK truncates a prediction list.
+func topK(ps []Prediction, k int) []Prediction {
+	if len(ps) > k {
+		ps = ps[:k]
+	}
+	return ps
+}
+
+// ---------------------------------------------------------------------------
+// Naive Bayes
+// ---------------------------------------------------------------------------
+
+// NaiveBayes is a multinomial Naive Bayes classifier with Laplace smoothing.
+type NaiveBayes struct {
+	classes     []string
+	prior       map[string]float64 // log prior
+	condCount   map[string]map[string]int
+	classTokens map[string]int
+	vocab       map[string]bool
+}
+
+// NewNaiveBayes returns an untrained classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(items []*catalog.Item) {
+	nb.prior = map[string]float64{}
+	nb.condCount = map[string]map[string]int{}
+	nb.classTokens = map[string]int{}
+	nb.vocab = map[string]bool{}
+	classN := map[string]int{}
+	for _, it := range items {
+		classN[it.TrueType]++
+		counts := nb.condCount[it.TrueType]
+		if counts == nil {
+			counts = map[string]int{}
+			nb.condCount[it.TrueType] = counts
+		}
+		for _, f := range Features(it) {
+			counts[f]++
+			nb.classTokens[it.TrueType]++
+			nb.vocab[f] = true
+		}
+	}
+	nb.classes = nb.classes[:0]
+	for cl := range classN {
+		nb.classes = append(nb.classes, cl)
+	}
+	sort.Strings(nb.classes)
+	total := float64(len(items))
+	for cl, n := range classN {
+		nb.prior[cl] = math.Log(float64(n) / total)
+	}
+}
+
+// Predict implements Classifier. Scores are softmax-normalized posteriors.
+func (nb *NaiveBayes) Predict(it *catalog.Item) []Prediction {
+	if len(nb.classes) == 0 {
+		return nil
+	}
+	feats := Features(it)
+	v := float64(len(nb.vocab) + 1)
+	logs := make([]float64, len(nb.classes))
+	for i, cl := range nb.classes {
+		lp := nb.prior[cl]
+		counts := nb.condCount[cl]
+		denom := float64(nb.classTokens[cl]) + v
+		for _, f := range feats {
+			if !nb.vocab[f] {
+				continue // unseen features carry no between-class signal
+			}
+			lp += math.Log((float64(counts[f]) + 1) / denom)
+		}
+		logs[i] = lp
+	}
+	// Softmax with max subtraction for stability.
+	maxLog := math.Inf(-1)
+	for _, l := range logs {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	var z float64
+	for _, l := range logs {
+		z += math.Exp(l - maxLog)
+	}
+	preds := make([]Prediction, len(nb.classes))
+	for i, cl := range nb.classes {
+		preds[i] = Prediction{Type: cl, Score: math.Exp(logs[i]-maxLog) / z}
+	}
+	sortPredictions(preds)
+	return topK(preds, 5)
+}
+
+// ---------------------------------------------------------------------------
+// kNN with inverted index
+// ---------------------------------------------------------------------------
+
+// KNN is a k-nearest-neighbour classifier over TF-IDF cosine similarity.
+// Training builds an inverted index from feature to training examples, so a
+// prediction only scores examples sharing at least one feature.
+type KNN struct {
+	K int // default 5
+
+	labels []string
+	norms  []float64
+	vecs   []map[string]float64
+	index  map[string][]int32
+	df     map[string]int
+	nDocs  int
+}
+
+// NewKNN returns an untrained kNN classifier with k neighbours.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "knn" }
+
+// Train implements Classifier.
+func (k *KNN) Train(items []*catalog.Item) {
+	k.labels = make([]string, 0, len(items))
+	k.vecs = make([]map[string]float64, 0, len(items))
+	k.norms = make([]float64, 0, len(items))
+	k.index = map[string][]int32{}
+	k.df = map[string]int{}
+	k.nDocs = len(items)
+
+	rawFeats := make([][]string, len(items))
+	for i, it := range items {
+		rawFeats[i] = Features(it)
+		seen := map[string]bool{}
+		for _, f := range rawFeats[i] {
+			if !seen[f] {
+				seen[f] = true
+				k.df[f]++
+			}
+		}
+	}
+	for i, it := range items {
+		vec := k.vectorize(rawFeats[i])
+		// Sorted feature order keeps the norm sums (and hence similarity
+		// ties) reproducible across runs.
+		fs := make([]string, 0, len(vec))
+		for f := range vec {
+			fs = append(fs, f)
+		}
+		sort.Strings(fs)
+		var norm float64
+		for _, f := range fs {
+			norm += vec[f] * vec[f]
+			k.index[f] = append(k.index[f], int32(i))
+		}
+		k.labels = append(k.labels, it.TrueType)
+		k.vecs = append(k.vecs, vec)
+		k.norms = append(k.norms, math.Sqrt(norm))
+	}
+}
+
+func (k *KNN) vectorize(feats []string) map[string]float64 {
+	tf := map[string]int{}
+	for _, f := range feats {
+		tf[f]++
+	}
+	vec := make(map[string]float64, len(tf))
+	for f, n := range tf {
+		df := k.df[f]
+		if df == 0 {
+			continue
+		}
+		vec[f] = float64(n) * math.Log(float64(k.nDocs+1)/float64(df))
+	}
+	return vec
+}
+
+// Predict implements Classifier. Scores are the per-class share of summed
+// neighbour similarity.
+func (k *KNN) Predict(it *catalog.Item) []Prediction {
+	if k.nDocs == 0 {
+		return nil
+	}
+	q := k.vectorize(Features(it))
+	// Features are visited in sorted order everywhere below so the
+	// floating-point sums — and therefore near-tie rankings — are identical
+	// across runs and instances (map iteration order is not).
+	feats := make([]string, 0, len(q))
+	for f := range q {
+		feats = append(feats, f)
+	}
+	sort.Strings(feats)
+	var qNorm float64
+	for _, f := range feats {
+		qNorm += q[f] * q[f]
+	}
+	qNorm = math.Sqrt(qNorm)
+	if qNorm == 0 {
+		return nil
+	}
+	dots := map[int32]float64{}
+	for _, f := range feats {
+		w := q[f]
+		for _, doc := range k.index[f] {
+			dots[doc] += w * k.vecs[doc][f]
+		}
+	}
+	if len(dots) == 0 {
+		return nil
+	}
+	type scored struct {
+		doc int32
+		sim float64
+	}
+	cands := make([]scored, 0, len(dots))
+	for doc, dot := range dots {
+		cands = append(cands, scored{doc, dot / (qNorm * k.norms[doc])})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	if len(cands) > k.K {
+		cands = cands[:k.K]
+	}
+	votes := map[string]float64{}
+	var total float64
+	for _, c := range cands {
+		votes[k.labels[c.doc]] += c.sim
+		total += c.sim
+	}
+	if total <= 0 {
+		return nil
+	}
+	preds := make([]Prediction, 0, len(votes))
+	for cl, v := range votes {
+		preds = append(preds, Prediction{Type: cl, Score: v / total})
+	}
+	sortPredictions(preds)
+	return preds
+}
+
+// ---------------------------------------------------------------------------
+// Averaged perceptron
+// ---------------------------------------------------------------------------
+
+// Perceptron is a multiclass averaged perceptron — the stdlib-only stand-in
+// for Chimera's linear SVM.
+type Perceptron struct {
+	Epochs int // default 5
+
+	classes []string
+	weights map[string]map[string]float64 // class → feature → averaged weight
+}
+
+// NewPerceptron returns an untrained perceptron.
+func NewPerceptron(epochs int) *Perceptron {
+	if epochs <= 0 {
+		epochs = 5
+	}
+	return &Perceptron{Epochs: epochs}
+}
+
+// Name implements Classifier.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// Train implements Classifier. Uses the standard averaging trick
+// (accumulate weight * remaining updates) for stability.
+func (p *Perceptron) Train(items []*catalog.Item) {
+	classSet := map[string]bool{}
+	for _, it := range items {
+		classSet[it.TrueType] = true
+	}
+	p.classes = p.classes[:0]
+	for cl := range classSet {
+		p.classes = append(p.classes, cl)
+	}
+	sort.Strings(p.classes)
+
+	w := map[string]map[string]float64{}
+	acc := map[string]map[string]float64{}
+	for _, cl := range p.classes {
+		w[cl] = map[string]float64{}
+		acc[cl] = map[string]float64{}
+	}
+	feats := make([][]string, len(items))
+	for i, it := range items {
+		feats[i] = Features(it)
+	}
+	steps := p.Epochs * len(items)
+	step := 0
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for i, it := range items {
+			step++
+			pred := p.argmax(w, feats[i])
+			if pred != it.TrueType {
+				remain := float64(steps - step + 1)
+				for _, f := range feats[i] {
+					w[it.TrueType][f]++
+					acc[it.TrueType][f] += remain
+					w[pred][f]--
+					acc[pred][f] -= remain
+				}
+			}
+		}
+	}
+	p.weights = map[string]map[string]float64{}
+	for cl, m := range acc {
+		p.weights[cl] = map[string]float64{}
+		for f, v := range m {
+			if v != 0 {
+				p.weights[cl][f] = v / float64(steps)
+			}
+		}
+	}
+}
+
+func (p *Perceptron) argmax(w map[string]map[string]float64, feats []string) string {
+	best, bestScore := "", math.Inf(-1)
+	for _, cl := range p.classes {
+		var s float64
+		cw := w[cl]
+		for _, f := range feats {
+			s += cw[f]
+		}
+		if s > bestScore {
+			best, bestScore = cl, s
+		}
+	}
+	return best
+}
+
+// Predict implements Classifier. Margins are softmax-normalized.
+func (p *Perceptron) Predict(it *catalog.Item) []Prediction {
+	if len(p.classes) == 0 {
+		return nil
+	}
+	feats := Features(it)
+	scores := make([]float64, len(p.classes))
+	for i, cl := range p.classes {
+		cw := p.weights[cl]
+		for _, f := range feats {
+			scores[i] += cw[f]
+		}
+	}
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for _, s := range scores {
+		z += math.Exp((s - maxS) / 4) // temperature softens raw margins
+	}
+	preds := make([]Prediction, len(p.classes))
+	for i, cl := range p.classes {
+		preds[i] = Prediction{Type: cl, Score: math.Exp((scores[i]-maxS)/4) / z}
+	}
+	sortPredictions(preds)
+	return topK(preds, 5)
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble
+// ---------------------------------------------------------------------------
+
+// Ensemble combines member classifiers with weighted score voting (§3.1:
+// "train a set of learning-based classifiers, often combining them into an
+// ensemble").
+type Ensemble struct {
+	members []Classifier
+	weights []float64
+}
+
+// NewEnsemble builds an ensemble; weights default to 1 each when nil.
+func NewEnsemble(members []Classifier, weights []float64) (*Ensemble, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("learn: ensemble needs at least one member")
+	}
+	if weights == nil {
+		weights = make([]float64, len(members))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(members) {
+		return nil, fmt.Errorf("learn: %d weights for %d members", len(weights), len(members))
+	}
+	return &Ensemble{members: members, weights: weights}, nil
+}
+
+// Name implements Classifier.
+func (e *Ensemble) Name() string { return "ensemble" }
+
+// Train trains every member on the same data.
+func (e *Ensemble) Train(items []*catalog.Item) {
+	for _, m := range e.members {
+		m.Train(items)
+	}
+}
+
+// Predict sums weighted member scores and renormalizes.
+func (e *Ensemble) Predict(it *catalog.Item) []Prediction {
+	votes := map[string]float64{}
+	var total float64
+	for i, m := range e.members {
+		for _, p := range m.Predict(it) {
+			votes[p.Type] += e.weights[i] * p.Score
+			total += e.weights[i] * p.Score
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	preds := make([]Prediction, 0, len(votes))
+	for cl, v := range votes {
+		preds = append(preds, Prediction{Type: cl, Score: v / total})
+	}
+	sortPredictions(preds)
+	return preds
+}
+
+// Members exposes the ensemble's classifiers (for per-member diagnostics).
+func (e *Ensemble) Members() []Classifier { return e.members }
+
+// ---------------------------------------------------------------------------
+// Evaluation helpers
+// ---------------------------------------------------------------------------
+
+// Accuracy returns top-1 accuracy of c on items (which carry ground truth).
+func Accuracy(c Classifier, items []*catalog.Item) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, it := range items {
+		ps := c.Predict(it)
+		if len(ps) > 0 && ps[0].Type == it.TrueType {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(items))
+}
+
+// PrecisionRecallAt measures precision and recall when predictions below
+// the confidence threshold are declined: precision over emitted predictions,
+// recall as emitted-and-correct over all items (the paper's operating mode:
+// "maintain precision ≥92%, tolerate lower recall").
+func PrecisionRecallAt(c Classifier, items []*catalog.Item, threshold float64) (precision, recall float64) {
+	emitted, correct := 0, 0
+	for _, it := range items {
+		ps := c.Predict(it)
+		if len(ps) == 0 || ps[0].Score < threshold {
+			continue
+		}
+		emitted++
+		if ps[0].Type == it.TrueType {
+			correct++
+		}
+	}
+	if emitted > 0 {
+		precision = float64(correct) / float64(emitted)
+	}
+	if len(items) > 0 {
+		recall = float64(correct) / float64(len(items))
+	}
+	return precision, recall
+}
+
+// WeightsForDiag exposes a class's averaged weights for determinism
+// diagnostics in tests.
+func (p *Perceptron) WeightsForDiag(class string) map[string]float64 { return p.weights[class] }

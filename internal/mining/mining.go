@@ -1,0 +1,372 @@
+// Package mining implements the §5.2 tool: generating classification rules
+// from labeled data. The pipeline is exactly the paper's — frequent token
+// sequences mined with AprioriAll [4] over each type's titles, one candidate
+// rule a1.*a2.*…*an → t per frequent sequence of length 2–4, a confidence
+// score combining type-name evidence with support, a zero-false-positive
+// filter on the training data, and the coverage-maximizing selection
+// algorithms: Algorithm 1 (Greedy) and the production Algorithm 2
+// (Greedy-Biased), which exhausts high-confidence rules before touching
+// low-confidence ones.
+package mining
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tokenize"
+)
+
+// Sequence is one frequent token sequence with its support.
+type Sequence struct {
+	Tokens  []string
+	Count   int
+	Support float64 // fraction of titles containing the sequence
+}
+
+// FrequentSequences runs AprioriAll over the tokenized titles: level-wise
+// candidate generation (frequent k-sequences extended by frequent tokens)
+// with support counting by subsequence containment, returning all frequent
+// sequences with minLen ≤ length ≤ maxLen, sorted by descending support then
+// lexicographically.
+func FrequentSequences(titles [][]string, minSupport float64, minLen, maxLen int) []Sequence {
+	if len(titles) == 0 || maxLen <= 0 {
+		return nil
+	}
+	minCount := int(minSupport * float64(len(titles)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// L1: frequent single tokens (presence per title).
+	tokCount := map[string]int{}
+	for _, title := range titles {
+		seen := map[string]bool{}
+		for _, tok := range title {
+			if !seen[tok] {
+				seen[tok] = true
+				tokCount[tok]++
+			}
+		}
+	}
+	var l1 []string
+	for tok, n := range tokCount {
+		if n >= minCount {
+			l1 = append(l1, tok)
+		}
+	}
+	sort.Strings(l1)
+
+	var out []Sequence
+	record := func(seq []string, count int) {
+		if len(seq) >= minLen {
+			out = append(out, Sequence{
+				Tokens:  append([]string(nil), seq...),
+				Count:   count,
+				Support: float64(count) / float64(len(titles)),
+			})
+		}
+	}
+
+	current := make([][]string, 0, len(l1))
+	counts := make([]int, 0, len(l1))
+	for _, tok := range l1 {
+		current = append(current, []string{tok})
+		counts = append(counts, tokCount[tok])
+	}
+	for i, seq := range current {
+		record(seq, counts[i])
+	}
+
+	for k := 1; k < maxLen && len(current) > 0; k++ {
+		var next [][]string
+		var nextCounts []int
+		for _, seq := range current {
+			for _, tok := range l1 {
+				cand := append(append([]string(nil), seq...), tok)
+				n := 0
+				for _, title := range titles {
+					if tokenize.ContainsSubsequence(title, cand) {
+						n++
+					}
+				}
+				if n >= minCount {
+					next = append(next, cand)
+					nextCounts = append(nextCounts, n)
+				}
+			}
+		}
+		for i, seq := range next {
+			record(seq, nextCounts[i])
+		}
+		current, counts = next, nextCounts
+	}
+	_ = counts
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return strings.Join(out[i].Tokens, " ") < strings.Join(out[j].Tokens, " ")
+	})
+	return out
+}
+
+// Candidate is a generated rule with the metadata selection needs.
+type Candidate struct {
+	Rule       *core.Rule
+	Confidence float64
+	// Coverage holds the indices (into the labeled corpus) the rule touches.
+	Coverage []int32
+}
+
+// Options parameterizes GenerateRules. Zero values take the documented
+// defaults.
+type Options struct {
+	// MinSupport for AprioriAll per type (paper: 0.001 at 885K items;
+	// default here 0.01 at the reduced scale).
+	MinSupport float64
+	// MinLen/MaxLen bound rule token counts (paper: 2–4; "rules with one
+	// token are too general, more than four too specific").
+	MinLen, MaxLen int
+	// MaxRulesPerType is q in the selection algorithms (paper: 500).
+	MaxRulesPerType int
+	// Alpha is the high/low confidence split (paper: 0.7).
+	Alpha float64
+	// AllowTrainingFP, when true, skips the zero-false-positive filter on
+	// training data (the paper keeps it on; exposed for ablation).
+	AllowTrainingFP bool
+	// SupportSaturation is the support at which the support factor of the
+	// confidence score saturates to 1. Default 0.2.
+	SupportSaturation float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.01
+	}
+	if o.MinLen == 0 {
+		o.MinLen = 2
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 4
+	}
+	if o.MaxRulesPerType == 0 {
+		o.MaxRulesPerType = 500
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.7
+	}
+	if o.SupportSaturation == 0 {
+		o.SupportSaturation = 0.2
+	}
+	return o
+}
+
+// Confidence computes the paper's linear-combination score for a mined
+// sequence targeting typeName: whether the regex contains the full type
+// name, how many type-name tokens appear in it, and its support.
+func Confidence(seq Sequence, typeName string, saturation float64) float64 {
+	nameTokens := tokenize.Normalize(typeName)
+	if len(nameTokens) == 0 {
+		nameTokens = tokenize.Tokenize(typeName)
+	}
+	inRule := map[string]bool{}
+	for _, tok := range seq.Tokens {
+		inRule[tok] = true
+	}
+	matched := 0
+	for _, nt := range nameTokens {
+		if inRule[nt] {
+			matched++
+		}
+	}
+	hasFullName := 0.0
+	if matched == len(nameTokens) && len(nameTokens) > 0 {
+		hasFullName = 1
+	}
+	frac := float64(matched) / float64(len(nameTokens))
+	sup := seq.Support / saturation
+	if sup > 1 {
+		sup = 1
+	}
+	return 0.4*hasFullName + 0.3*frac + 0.3*sup
+}
+
+// Result is the output of GenerateRules.
+type Result struct {
+	// PerType maps type name to the selected candidates for that type.
+	PerType map[string][]Candidate
+	// TotalCandidates counts mined candidate rules before selection
+	// (the paper's 874K figure, at scale).
+	TotalCandidates int
+	// RejectedFP counts candidates dropped by the zero-FP training filter.
+	RejectedFP int
+	// High and Low are the selected rules split at Alpha (the 63K / 37K
+	// sets). Rules carry Provenance "mined" and their confidence score.
+	High, Low []Candidate
+}
+
+// Selected returns all selected rules (high then low confidence).
+func (r *Result) Selected() []*core.Rule {
+	out := make([]*core.Rule, 0, len(r.High)+len(r.Low))
+	for _, c := range r.High {
+		out = append(out, c.Rule)
+	}
+	for _, c := range r.Low {
+		out = append(out, c.Rule)
+	}
+	return out
+}
+
+// GenerateRules runs the full §5.2 pipeline over labeled items.
+func GenerateRules(labeled []*catalog.Item, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	// Group normalized titles per type.
+	byType := map[string][]int{}
+	titles := make([][]string, len(labeled))
+	for i, it := range labeled {
+		titles[i] = tokenize.NormalizeTokens(it.TitleTokens())
+		byType[it.TrueType] = append(byType[it.TrueType], i)
+	}
+	di := core.NewDataIndex(labeled)
+
+	res := &Result{PerType: map[string][]Candidate{}}
+	typeNames := make([]string, 0, len(byType))
+	for t := range byType {
+		typeNames = append(typeNames, t)
+	}
+	sort.Strings(typeNames)
+
+	for _, typeName := range typeNames {
+		idxs := byType[typeName]
+		typeTitles := make([][]string, len(idxs))
+		for i, idx := range idxs {
+			typeTitles[i] = titles[idx]
+		}
+		seqs := FrequentSequences(typeTitles, opts.MinSupport, opts.MinLen, opts.MaxLen)
+		res.TotalCandidates += len(seqs)
+
+		var cands []Candidate
+		for _, seq := range seqs {
+			src := strings.Join(seq.Tokens, ".*")
+			rule, err := core.NewWhitelist(src, typeName)
+			if err != nil {
+				continue // e.g. stop-word-only sequence; skip defensively
+			}
+			rule.Provenance = "mined"
+			rule.Confidence = Confidence(seq, typeName, opts.SupportSaturation)
+
+			matches := di.Matches(rule)
+			if !opts.AllowTrainingFP {
+				fp := false
+				for _, m := range matches {
+					if labeled[m].TrueType != typeName {
+						fp = true
+						break
+					}
+				}
+				if fp {
+					res.RejectedFP++
+					continue
+				}
+			}
+			cands = append(cands, Candidate{Rule: rule, Confidence: rule.Confidence, Coverage: matches})
+		}
+		high, low := GreedyBiased(cands, opts.MaxRulesPerType, opts.Alpha)
+		res.PerType[typeName] = append(append([]Candidate(nil), high...), low...)
+		res.High = append(res.High, high...)
+		res.Low = append(res.Low, low...)
+	}
+	return res, nil
+}
+
+// Greedy is Algorithm 1: repeatedly select the rule with the largest
+// (new coverage × confidence) product until q rules are selected or no rule
+// adds coverage.
+func Greedy(cands []Candidate, q int) []Candidate {
+	var selected []Candidate
+	covered := map[int32]bool{}
+	remaining := append([]Candidate(nil), cands...)
+	for len(selected) < q && len(remaining) > 0 {
+		bestIdx, bestScore, bestNew := -1, -1.0, 0
+		for i, c := range remaining {
+			newCov := 0
+			for _, item := range c.Coverage {
+				if !covered[item] {
+					newCov++
+				}
+			}
+			score := float64(newCov) * c.Confidence
+			if score > bestScore {
+				bestIdx, bestScore, bestNew = i, score, newCov
+			}
+		}
+		if bestIdx < 0 || bestNew == 0 {
+			return selected
+		}
+		best := remaining[bestIdx]
+		selected = append(selected, best)
+		for _, item := range best.Coverage {
+			covered[item] = true
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return selected
+}
+
+// GreedyBiased is Algorithm 2: split candidates at alpha into high- and
+// low-confidence pools, exhaust Greedy selection from the high pool first,
+// then fill any remaining quota from the low pool over the still-uncovered
+// items.
+func GreedyBiased(cands []Candidate, q int, alpha float64) (high, low []Candidate) {
+	var r1, r2 []Candidate
+	for _, c := range cands {
+		if c.Confidence >= alpha {
+			r1 = append(r1, c)
+		} else {
+			r2 = append(r2, c)
+		}
+	}
+	s1 := Greedy(r1, q)
+	if len(s1) >= q {
+		return s1, nil
+	}
+	// Greedy over R2 on D − Cov(S1): subtract already-covered items from the
+	// low-pool coverage sets.
+	covered := map[int32]bool{}
+	for _, c := range s1 {
+		for _, item := range c.Coverage {
+			covered[item] = true
+		}
+	}
+	reduced := make([]Candidate, 0, len(r2))
+	for _, c := range r2 {
+		var remainingCov []int32
+		for _, item := range c.Coverage {
+			if !covered[item] {
+				remainingCov = append(remainingCov, item)
+			}
+		}
+		if len(remainingCov) == 0 {
+			continue
+		}
+		reduced = append(reduced, Candidate{Rule: c.Rule, Confidence: c.Confidence, Coverage: remainingCov})
+	}
+	s2 := Greedy(reduced, q-len(s1))
+	// Return the low-pool selections with their original coverage sets.
+	byID := map[string]Candidate{}
+	for _, c := range r2 {
+		byID[key(c)] = c
+	}
+	for _, c := range s2 {
+		low = append(low, byID[key(c)])
+	}
+	return s1, low
+}
+
+func key(c Candidate) string {
+	return c.Rule.Source + "→" + c.Rule.TargetType
+}

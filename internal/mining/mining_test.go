@@ -1,0 +1,288 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tokenize"
+)
+
+func tok(ss ...string) [][]string {
+	out := make([][]string, len(ss))
+	for i, s := range ss {
+		out[i] = tokenize.Tokenize(s)
+	}
+	return out
+}
+
+func TestFrequentSequencesPaperExample(t *testing.T) {
+	titles := tok(
+		"dickies indigo blue relaxed fit denim jeans 38x30",
+		"dickies carpenter jeans loose fit",
+		"bluepeak denim skinny jeans",
+		"ranchhand relaxed fit jeans denim",
+	)
+	seqs := FrequentSequences(titles, 0.5, 2, 4)
+	found := map[string]Sequence{}
+	for _, s := range seqs {
+		found[strings.Join(s.Tokens, " ")] = s
+	}
+	if s, ok := found["denim jeans"]; !ok || s.Count != 2 {
+		t.Fatalf("denim jeans should be frequent with count 2: %+v (all: %v)", s, found)
+	}
+	// "fit jeans" appears in titles 1 and 4 (order matters: title 2 has
+	// "jeans loose fit").
+	if s, ok := found["fit jeans"]; !ok || s.Count != 2 {
+		t.Fatalf("fit jeans should have count 2: %+v", s)
+	}
+	if _, ok := found["jeans denim"]; ok {
+		t.Fatal("order matters: 'jeans denim' appears only once (support 0.25)")
+	}
+}
+
+func TestFrequentSequencesLengthBounds(t *testing.T) {
+	titles := tok("a b c d e", "a b c d e", "a b c d e")
+	seqs := FrequentSequences(titles, 0.9, 2, 3)
+	for _, s := range seqs {
+		if len(s.Tokens) < 2 || len(s.Tokens) > 3 {
+			t.Fatalf("length bounds violated: %v", s.Tokens)
+		}
+	}
+	// 5 choose 2 ordered-subsequence pairs = 10, triples = 10.
+	if len(seqs) != 20 {
+		t.Fatalf("want 10 pairs + 10 triples = 20, got %d", len(seqs))
+	}
+}
+
+func TestFrequentSequencesApriori(t *testing.T) {
+	// Every reported sequence must meet min support; and every prefix of a
+	// reported sequence must also be frequent (Apriori property).
+	titles := tok(
+		"x a b c", "y a b c", "z a c", "w b c", "v a b",
+	)
+	seqs := FrequentSequences(titles, 0.4, 2, 3)
+	counts := map[string]int{}
+	for _, s := range seqs {
+		counts[strings.Join(s.Tokens, " ")] = s.Count
+		if s.Support < 0.4 {
+			t.Fatalf("below support: %+v", s)
+		}
+	}
+	if counts["a b c"] == 0 {
+		t.Fatal("a b c should be frequent (2/5)")
+	}
+	if counts["a b"] == 0 || counts["b c"] == 0 {
+		t.Fatal("subsequences of frequent sequences must be frequent")
+	}
+}
+
+func TestFrequentSequencesEmpty(t *testing.T) {
+	if FrequentSequences(nil, 0.1, 2, 4) != nil {
+		t.Fatal("no titles should yield nil")
+	}
+}
+
+func TestConfidenceFactors(t *testing.T) {
+	sat := 0.2
+	full := Confidence(Sequence{Tokens: []string{"denim", "jeans"}, Support: 0.5}, "jeans", sat)
+	partial := Confidence(Sequence{Tokens: []string{"denim", "fit"}, Support: 0.5}, "jeans", sat)
+	if full <= partial {
+		t.Fatalf("type-name evidence should raise confidence: %v vs %v", full, partial)
+	}
+	hiSup := Confidence(Sequence{Tokens: []string{"denim", "fit"}, Support: 0.5}, "jeans", sat)
+	loSup := Confidence(Sequence{Tokens: []string{"denim", "fit"}, Support: 0.001}, "jeans", sat)
+	if hiSup <= loSup {
+		t.Fatalf("support should raise confidence: %v vs %v", hiSup, loSup)
+	}
+	multi := Confidence(Sequence{Tokens: []string{"area", "rug"}, Support: 0.3}, "area rugs", sat)
+	if multi <= 0 || multi > 1 {
+		t.Fatalf("confidence out of range: %v", multi)
+	}
+}
+
+func mkCand(t *testing.T, src, target string, conf float64, cov ...int32) Candidate {
+	t.Helper()
+	r, err := core.NewWhitelist(src, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Confidence = conf
+	return Candidate{Rule: r, Confidence: conf, Coverage: cov}
+}
+
+func TestGreedyPicksCoverageTimesConfidence(t *testing.T) {
+	cands := []Candidate{
+		mkCand(t, "a.*b", "t", 0.5, 1, 2, 3, 4),       // score 2.0
+		mkCand(t, "c.*d", "t", 0.9, 1, 2),             // score 1.8
+		mkCand(t, "e.*f", "t", 0.9, 5, 6, 7),          // score 2.7 ← first
+		mkCand(t, "g.*h", "t", 0.1, 1, 2, 3, 4, 5, 6), // score 0.6
+	}
+	got := Greedy(cands, 10)
+	if len(got) == 0 || got[0].Rule.Source != "e.*f" {
+		t.Fatalf("first pick should be e.*f, got %v", got)
+	}
+	// All items end up covered; selection stops when no new coverage.
+	covered := map[int32]bool{}
+	for _, c := range got {
+		for _, i := range c.Coverage {
+			covered[i] = true
+		}
+	}
+	if len(covered) != 7 {
+		t.Fatalf("coverage incomplete: %v", covered)
+	}
+}
+
+func TestGreedyRespectsQ(t *testing.T) {
+	cands := []Candidate{
+		mkCand(t, "a.*b", "t", 0.9, 1),
+		mkCand(t, "c.*d", "t", 0.9, 2),
+		mkCand(t, "e.*f", "t", 0.9, 3),
+	}
+	if got := Greedy(cands, 2); len(got) != 2 {
+		t.Fatalf("q not respected: %d", len(got))
+	}
+}
+
+func TestGreedyStopsWithoutNewCoverage(t *testing.T) {
+	cands := []Candidate{
+		mkCand(t, "a.*b", "t", 0.9, 1, 2),
+		mkCand(t, "c.*d", "t", 0.8, 1, 2), // fully redundant
+	}
+	if got := Greedy(cands, 5); len(got) != 1 {
+		t.Fatalf("redundant rule selected: %d", len(got))
+	}
+}
+
+func TestGreedyBiasedPrefersHighConfidence(t *testing.T) {
+	// A low-confidence rule with huge coverage must not displace
+	// high-confidence rules (the paper's reason for Algorithm 2).
+	cands := []Candidate{
+		mkCand(t, "lo.*cov", "t", 0.3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+		mkCand(t, "hi.*one", "t", 0.9, 1, 2),
+		mkCand(t, "hi.*two", "t", 0.8, 3, 4),
+	}
+	high, low := GreedyBiased(cands, 3, 0.7)
+	if len(high) != 2 {
+		t.Fatalf("both high-confidence rules should be selected first: %v", high)
+	}
+	if len(low) != 1 || low[0].Rule.Source != "lo.*cov" {
+		t.Fatalf("low rule should fill the remainder: %v", low)
+	}
+	// Plain Greedy would have started with the big low-confidence rule.
+	plain := Greedy(cands, 3)
+	if plain[0].Rule.Source != "lo.*cov" {
+		t.Fatalf("baseline check: plain greedy should pick lo.*cov first, got %s", plain[0].Rule.Source)
+	}
+}
+
+func TestGreedyBiasedQuotaExhaustedByHigh(t *testing.T) {
+	cands := []Candidate{
+		mkCand(t, "a.*b", "t", 0.9, 1),
+		mkCand(t, "c.*d", "t", 0.9, 2),
+		mkCand(t, "e.*f", "t", 0.2, 3),
+	}
+	high, low := GreedyBiased(cands, 2, 0.7)
+	if len(high) != 2 || len(low) != 0 {
+		t.Fatalf("quota should be exhausted by high rules: %d/%d", len(high), len(low))
+	}
+}
+
+func TestGreedyBiasedLowKeepsOriginalCoverage(t *testing.T) {
+	cands := []Candidate{
+		mkCand(t, "a.*b", "t", 0.9, 1, 2),
+		mkCand(t, "c.*d", "t", 0.3, 2, 3),
+	}
+	_, low := GreedyBiased(cands, 5, 0.7)
+	if len(low) != 1 || len(low[0].Coverage) != 2 {
+		t.Fatalf("low candidate should report original coverage: %v", low)
+	}
+}
+
+func TestGenerateRulesEndToEnd(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 41, NumTypes: 25})
+	labeled := cat.LabeledData(4000)
+	res, err := GenerateRules(labeled, Options{MinSupport: 0.05, MaxRulesPerType: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCandidates == 0 {
+		t.Fatal("no candidates mined")
+	}
+	if len(res.High) == 0 {
+		t.Fatal("no high-confidence rules selected")
+	}
+	if len(res.High)+len(res.Low) > res.TotalCandidates {
+		t.Fatal("selected more than mined")
+	}
+
+	// Selected rules must be valid, provenance-tagged, and zero-FP on the
+	// training data.
+	di := core.NewDataIndex(labeled)
+	for _, c := range append(append([]Candidate(nil), res.High...), res.Low...) {
+		if c.Rule.Provenance != "mined" {
+			t.Fatalf("missing provenance: %+v", c.Rule)
+		}
+		for _, m := range di.Matches(c.Rule) {
+			if labeled[m].TrueType != c.Rule.TargetType {
+				t.Fatalf("rule %s has a training false positive", c.Rule.Source)
+			}
+		}
+	}
+
+	// High rules all ≥ alpha, low all < alpha.
+	for _, c := range res.High {
+		if c.Confidence < 0.7 {
+			t.Fatalf("high rule below alpha: %v", c.Confidence)
+		}
+	}
+	for _, c := range res.Low {
+		if c.Confidence >= 0.7 {
+			t.Fatalf("low rule above alpha: %v", c.Confidence)
+		}
+	}
+
+	// The generated rules should cover a decent share of the training data.
+	covered := map[int32]bool{}
+	for _, c := range append(append([]Candidate(nil), res.High...), res.Low...) {
+		for _, i := range c.Coverage {
+			covered[i] = true
+		}
+	}
+	frac := float64(len(covered)) / float64(len(labeled))
+	if frac < 0.3 {
+		t.Fatalf("selected rules cover only %.2f of training data", frac)
+	}
+}
+
+func TestGenerateRulesZeroFPFilterAblation(t *testing.T) {
+	cat := catalog.New(catalog.Config{Seed: 42, NumTypes: 20})
+	labeled := cat.LabeledData(2500)
+	strict, err := GenerateRules(labeled, Options{MinSupport: 0.05, MaxRulesPerType: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := GenerateRules(labeled, Options{MinSupport: 0.05, MaxRulesPerType: 50, AllowTrainingFP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.RejectedFP == 0 {
+		t.Fatal("zero-FP filter never fired — catalog should have ambiguous sequences")
+	}
+	if loose.RejectedFP != 0 {
+		t.Fatal("ablation should skip the filter")
+	}
+}
+
+func TestResultSelected(t *testing.T) {
+	res := &Result{
+		High: []Candidate{mkCand(t, "a.*b", "t", 0.9, 1)},
+		Low:  []Candidate{mkCand(t, "c.*d", "t", 0.3, 2)},
+	}
+	sel := res.Selected()
+	if len(sel) != 2 || sel[0].Source != "a.*b" {
+		t.Fatalf("Selected() wrong: %v", sel)
+	}
+}

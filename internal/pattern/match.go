@@ -1,0 +1,176 @@
+package pattern
+
+import "strings"
+
+// Match reports whether the pattern matches anywhere in the tokenized title.
+// A \syn slot, if present, matches its golden alternatives (so a rule under
+// expansion still behaves like the analyst's original rule).
+func (p *Pattern) Match(tokens []string) bool {
+	for start := 0; start <= len(tokens); start++ {
+		if p.matchFrom(tokens, 0, start) {
+			return true
+		}
+		// Without a first anchor token there is no point sliding further:
+		// matchFrom from position 0 already explored gaps.
+		if len(p.elems) > 0 && p.elems[0].Kind == KindGap {
+			break
+		}
+	}
+	return false
+}
+
+// matchFrom attempts to match elems[i:] beginning exactly at tokens[pos:].
+// Trailing unmatched title tokens are always allowed (unanchored semantics).
+func (p *Pattern) matchFrom(tokens []string, i, pos int) bool {
+	if i == len(p.elems) {
+		return true
+	}
+	e := p.elems[i]
+	switch e.Kind {
+	case KindGap:
+		for skip := 0; pos+skip <= len(tokens); skip++ {
+			if p.matchFrom(tokens, i+1, pos+skip) {
+				return true
+			}
+		}
+		return false
+	case KindAny:
+		return pos < len(tokens) && p.matchFrom(tokens, i+1, pos+1)
+	case KindLit, KindSyn:
+		if e.Optional && p.matchFrom(tokens, i+1, pos) {
+			return true
+		}
+		if e.Kind == KindSyn && len(e.Alts) == 0 {
+			// A bare \syn with no golden alternatives behaves like \w+ for
+			// plain matching purposes.
+			return pos < len(tokens) && p.matchFrom(tokens, i+1, pos+1)
+		}
+		for _, alt := range e.Alts {
+			if matchAlt(tokens, pos, alt) && p.matchFrom(tokens, i+1, pos+len(alt)) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func matchAlt(tokens []string, pos int, alt []string) bool {
+	if pos+len(alt) > len(tokens) {
+		return false
+	}
+	for k, t := range alt {
+		if tokens[pos+k] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// SynMatch is one occurrence of a candidate phrase filling the \syn slot,
+// together with the context window the §5.1 tool ranks by: up to ContextWidth
+// tokens immediately before and after the candidate.
+type SynMatch struct {
+	// Candidate is the token sequence that filled the slot.
+	Candidate []string
+	// Prefix is the context before the candidate (closest token last).
+	Prefix []string
+	// Suffix is the context after the candidate (closest token first).
+	Suffix []string
+}
+
+// Key returns the canonical single-string form of the candidate.
+func (m SynMatch) Key() string { return strings.Join(m.Candidate, " ") }
+
+// SynOptions configures FindSyn. Defaults follow the paper: candidate
+// synonyms of up to 3 tokens, context windows of 5 tokens.
+type SynOptions struct {
+	MaxSynLen    int // maximum candidate length in tokens (paper: 3)
+	ContextWidth int // prefix/suffix window in tokens (paper: 5)
+}
+
+// DefaultSynOptions are the §5.1 production settings.
+var DefaultSynOptions = SynOptions{MaxSynLen: 3, ContextWidth: 5}
+
+func (o SynOptions) withDefaults() SynOptions {
+	if o.MaxSynLen <= 0 {
+		o.MaxSynLen = DefaultSynOptions.MaxSynLen
+	}
+	if o.ContextWidth <= 0 {
+		o.ContextWidth = DefaultSynOptions.ContextWidth
+	}
+	return o
+}
+
+// FindSyn enumerates every way the pattern matches the title with the \syn
+// slot filled by 1..MaxSynLen arbitrary tokens, mirroring the generalized
+// regexes of §5.1 ((\w+) oils?, (\w+\s+\w+) oils?, …). Matches are
+// deduplicated by slot span. Golden alternatives also fill the slot — the
+// caller separates golden from candidate matches, since golden contexts seed
+// the ranking. Patterns without a \syn slot yield nil.
+func (p *Pattern) FindSyn(tokens []string, opts SynOptions) []SynMatch {
+	if !p.HasSyn() {
+		return nil
+	}
+	opts = opts.withDefaults()
+	type span struct{ start, end int }
+	seen := map[span]bool{}
+	var out []SynMatch
+
+	var rec func(i, pos int, slot *span)
+	record := func(s span) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		m := SynMatch{Candidate: tokens[s.start:s.end]}
+		pStart := s.start - opts.ContextWidth
+		if pStart < 0 {
+			pStart = 0
+		}
+		m.Prefix = tokens[pStart:s.start]
+		sEnd := s.end + opts.ContextWidth
+		if sEnd > len(tokens) {
+			sEnd = len(tokens)
+		}
+		m.Suffix = tokens[s.end:sEnd]
+		out = append(out, m)
+	}
+	rec = func(i, pos int, slot *span) {
+		if i == len(p.elems) {
+			if slot != nil {
+				record(*slot)
+			}
+			return
+		}
+		e := p.elems[i]
+		switch e.Kind {
+		case KindGap:
+			for skip := 0; pos+skip <= len(tokens); skip++ {
+				rec(i+1, pos+skip, slot)
+			}
+		case KindAny:
+			if pos < len(tokens) {
+				rec(i+1, pos+1, slot)
+			}
+		case KindSyn:
+			for l := 1; l <= opts.MaxSynLen && pos+l <= len(tokens); l++ {
+				s := span{pos, pos + l}
+				rec(i+1, pos+l, &s)
+			}
+		case KindLit:
+			if e.Optional {
+				rec(i+1, pos, slot)
+			}
+			for _, alt := range e.Alts {
+				if matchAlt(tokens, pos, alt) {
+					rec(i+1, pos+len(alt), slot)
+				}
+			}
+		}
+	}
+	for start := 0; start <= len(tokens); start++ {
+		rec(0, start, nil)
+	}
+	return out
+}

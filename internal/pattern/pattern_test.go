@@ -1,0 +1,343 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tokenize"
+)
+
+func match(t *testing.T, pat, title string) bool {
+	t.Helper()
+	p, err := Parse(pat)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pat, err)
+	}
+	return p.Match(tokenize.Tokenize(title))
+}
+
+func TestPaperExampleRings(t *testing.T) {
+	for _, title := range []string{
+		"Always & Forever Platinaire Diamond Accent Ring",
+		"1/4 Carat T.W. Diamond Semi-Eternity Ring in 10kt White Gold",
+		"Sterling Silver RINGS set of 3",
+	} {
+		if !match(t, "rings?", title) {
+			t.Errorf("rings? should match %q", title)
+		}
+	}
+	if match(t, "rings?", "Onyx Teething Necklace") {
+		t.Error("rings? must not match a necklace")
+	}
+	// Token-level semantics: "earring" is a different token, unlike a raw
+	// character regex where /rings?/ would match inside "earrings".
+	if match(t, "rings?", "Gold Hoop Earrings") {
+		t.Error("rings? must not match inside the token 'earrings'")
+	}
+}
+
+func TestPaperExampleTrioSets(t *testing.T) {
+	if !match(t, "diamond.*trio sets?", "10kt Diamond Wedding Trio Set in White Gold") {
+		t.Error("gap pattern should match")
+	}
+	if match(t, "diamond.*trio sets?", "Diamond Solitaire Pendant Set") {
+		t.Error("missing 'trio' should not match")
+	}
+	if match(t, "diamond.*trio sets?", "Trio Set with Diamond accents") {
+		t.Error("order matters: diamond must precede trio set")
+	}
+}
+
+func TestPaperExampleMotorOil(t *testing.T) {
+	pat := "(motor | engine) oils?"
+	if !match(t, pat, "Castrol GTX Motor Oil 5 qt") {
+		t.Error("motor oil should match")
+	}
+	if !match(t, pat, "Premium synthetic engine oils for trucks") {
+		t.Error("engine oils should match")
+	}
+	if match(t, pat, "Olive oil extra virgin") {
+		t.Error("olive oil should not match")
+	}
+	if match(t, pat, "motor vehicle oil filter") {
+		t.Error("adjacency: 'motor … oil' with interleaved token must not match")
+	}
+}
+
+func TestPaperExampleFullMotorOil(t *testing.T) {
+	pat := "(motor | engine | auto(motive)? | car | truck | suv | van | vehicle | motorcycle | pick[ -]?up | scooter | atv | boat) (oil | lubricant)s?"
+	for _, title := range []string{
+		"Mobil 1 Motor Oil",
+		"automotive oil 10w-30",
+		"auto oils value pack",
+		"pickup lubricant premium",
+		"pick-up oil for winter",
+		"boat lubricants marine grade",
+	} {
+		if !match(t, pat, title) {
+			t.Errorf("full motor-oil pattern should match %q", title)
+		}
+	}
+	if match(t, pat, "cooking oil canola") {
+		t.Error("cooking oil should not match")
+	}
+}
+
+func TestPaperExampleAbrasiveWheels(t *testing.T) {
+	pat := "(abrasive|sand(er|ing))[ -](wheels?|discs?)"
+	for _, title := range []string{
+		"4 inch abrasive wheels pack of 10",
+		"sander disc 120 grit",
+		"sanding discs assorted",
+		"abrasive-wheel kit",
+	} {
+		if !match(t, pat, title) {
+			t.Errorf("abrasive pattern should match %q", title)
+		}
+	}
+	if match(t, pat, "sand castle bucket wheels") {
+		t.Error("'sand' alone should not satisfy sand(er|ing)")
+	}
+}
+
+func TestWildcardPattern(t *testing.T) {
+	pat := `(\w+) oils?`
+	if !match(t, pat, "truck oil") {
+		t.Error("\\w+ should match one token")
+	}
+	if match(t, pat, "oil") {
+		t.Error("\\w+ requires a token before oil")
+	}
+	pat2 := `(\w+\s+\w+) oils?`
+	if !match(t, pat2, "heavy duty truck oil") {
+		t.Error("two-wildcard pattern should match")
+	}
+	if match(t, pat2, "truck oil") {
+		t.Error("two-wildcard pattern needs two tokens before oil")
+	}
+}
+
+func TestMinedSubsequenceStylePattern(t *testing.T) {
+	// §5.2 rules have the form a1.*a2.*…*an.
+	pat := "denim.*jeans?"
+	if !match(t, pat, "dickies indigo blue relaxed fit denim carpenter jeans") {
+		t.Error("denim.*jeans should match")
+	}
+	if match(t, pat, "jeans made of denim") {
+		t.Error("order matters in mined rules")
+	}
+}
+
+func TestOptionalGroup(t *testing.T) {
+	pat := "wedding (band | ring)? set"
+	if !match(t, pat, "wedding set deluxe") {
+		t.Error("optional group should be skippable")
+	}
+	if !match(t, pat, "wedding band set") {
+		t.Error("optional group should match when present")
+	}
+	if match(t, pat, "wedding candle set") {
+		t.Error("non-alternative token must not satisfy the optional group position")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"(a | b",
+		"a)b",
+		"()",
+		"a | b", // top-level alternation is not in the dialect
+		`(\syn | \syn2x)`,
+		`(a.*b | c)`,    // gap inside a group alternative
+		`(\syn) (\syn)`, // two slots
+		`(\syn)?`,       // optional slot
+		"[abc]",         // non-separator class
+		"(x)?",          // matches everything
+		".*",            // matches everything
+		`\q+`,           // unsupported escape
+		"a[",            // unterminated class
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSynGolden(t *testing.T) {
+	p := MustParse(`(motor | engine | \syn) oils?`)
+	if !p.HasSyn() {
+		t.Fatal("pattern should have a syn slot")
+	}
+	g := p.SynGolden()
+	if len(g) != 2 {
+		t.Fatalf("want 2 goldens, got %v", g)
+	}
+	if g[0][0] != "motor" || g[1][0] != "engine" {
+		t.Fatalf("bad goldens: %v", g)
+	}
+}
+
+func TestSynSlotMatchesGoldensOnly(t *testing.T) {
+	p := MustParse(`(motor | engine | \syn) oils?`)
+	if !p.Match(tokenize.Tokenize("motor oil")) {
+		t.Error("syn pattern should still match goldens")
+	}
+	if p.Match(tokenize.Tokenize("truck oil")) {
+		t.Error("plain Match must not treat the slot as a wildcard when goldens exist")
+	}
+}
+
+func TestFindSyn(t *testing.T) {
+	p := MustParse(`(motor | engine | \syn) oils?`)
+	tokens := tokenize.Tokenize("Valvoline premium truck oil 5 qt bottle")
+	ms := p.FindSyn(tokens, DefaultSynOptions)
+	keys := map[string]bool{}
+	for _, m := range ms {
+		keys[m.Key()] = true
+	}
+	if !keys["truck"] {
+		t.Fatalf("expected candidate 'truck', got %v", keys)
+	}
+	if !keys["premium truck"] {
+		t.Fatalf("expected 2-token candidate 'premium truck', got %v", keys)
+	}
+	if keys["oil"] || keys["qt"] {
+		t.Fatalf("candidates must precede 'oil': %v", keys)
+	}
+}
+
+func TestFindSynContextWindows(t *testing.T) {
+	p := MustParse(`(area | \syn) rugs?`)
+	tokens := tokenize.Tokenize("royal collection hand tufted oriental rug 5x8 blue wool soft pile")
+	ms := p.FindSyn(tokens, SynOptions{MaxSynLen: 1, ContextWidth: 3})
+	var got *SynMatch
+	for i := range ms {
+		if ms[i].Key() == "oriental" {
+			got = &ms[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no 'oriental' candidate in %v", ms)
+	}
+	if strings.Join(got.Prefix, " ") != "collection hand tufted" {
+		t.Errorf("prefix = %v", got.Prefix)
+	}
+	if strings.Join(got.Suffix, " ") != "rug 5x8 blue" {
+		t.Errorf("suffix = %v", got.Suffix)
+	}
+}
+
+func TestFindSynNoSlot(t *testing.T) {
+	p := MustParse("rings?")
+	if ms := p.FindSyn([]string{"ring"}, DefaultSynOptions); ms != nil {
+		t.Fatalf("patterns without a slot should yield nil, got %v", ms)
+	}
+}
+
+func TestFindSynMaxLen(t *testing.T) {
+	p := MustParse(`(\syn) gloves?`)
+	tokens := []string{"a", "b", "c", "d", "gloves"}
+	ms := p.FindSyn(tokens, SynOptions{MaxSynLen: 3, ContextWidth: 5})
+	longest := 0
+	for _, m := range ms {
+		if len(m.Candidate) > longest {
+			longest = len(m.Candidate)
+		}
+		if m.Candidate[len(m.Candidate)-1] != "d" {
+			t.Errorf("candidate %v must end just before 'gloves'", m.Candidate)
+		}
+	}
+	if longest != 3 {
+		t.Fatalf("longest candidate %d, want 3", longest)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("want candidates b|c|d, c|d, d → 3, got %d: %v", len(ms), ms)
+	}
+}
+
+func TestWithSynExpanded(t *testing.T) {
+	p := MustParse(`(motor | engine | \syn) oils?`)
+	exp := p.WithSynExpanded([][]string{{"truck"}, {"heavy", "duty"}, {"motor"}})
+	if exp.HasSyn() {
+		t.Fatal("expanded pattern should have no slot left")
+	}
+	for _, title := range []string{"truck oil", "heavy duty oil", "motor oil", "engine oils"} {
+		if !exp.Match(tokenize.Tokenize(title)) {
+			t.Errorf("expanded pattern should match %q", title)
+		}
+	}
+	if exp.Match(tokenize.Tokenize("olive oil")) {
+		t.Error("expanded pattern should not match unrelated synonyms")
+	}
+	// Duplicate golden "motor" must not be doubled.
+	var lit *Elem
+	for i := range exp.elems {
+		if exp.elems[i].Kind == KindLit && len(exp.elems[i].Alts) > 1 {
+			lit = &exp.elems[i]
+			break
+		}
+	}
+	if lit == nil || len(lit.Alts) != 4 {
+		t.Fatalf("expanded alts should be motor,engine,truck,heavy duty: %+v", exp.elems)
+	}
+}
+
+func TestWithSynExpandedNoSlotIsNoop(t *testing.T) {
+	p := MustParse("rings?")
+	exp := p.WithSynExpanded([][]string{{"band"}})
+	if exp.Match(tokenize.Tokenize("wedding band")) {
+		t.Fatal("no-slot expansion must not change semantics")
+	}
+	if !exp.Match(tokenize.Tokenize("wedding ring")) {
+		t.Fatal("no-slot expansion lost original semantics")
+	}
+}
+
+func TestCaseInsensitivePatternSource(t *testing.T) {
+	if !match(t, "Rings?", "diamond ring") {
+		t.Error("pattern source should be lower-cased at parse time")
+	}
+}
+
+func TestRawAndElems(t *testing.T) {
+	p := MustParse("(motor | engine) oils?")
+	if p.Raw() != "(motor | engine) oils?" {
+		t.Fatalf("Raw() = %q", p.Raw())
+	}
+	elems := p.Elems()
+	if len(elems) != 2 || elems[0].Kind != KindLit || len(elems[0].Alts) != 2 {
+		t.Fatalf("Elems() = %+v", elems)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"rings?",
+		"diamond.*trio sets?",
+		"(motor | engine) oils?",
+		"(abrasive|sand(er|ing))[ -](wheels?|discs?)",
+		`(\w+) oils?`,
+		"wedding (band | ring)? set",
+	}
+	titles := []string{
+		"diamond ring", "diamond wedding trio set", "motor oil",
+		"sanding discs", "truck oil", "wedding set", "random junk title",
+		"engine oils", "abrasive wheel", "wedding band set",
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q → %q failed: %v", src, p1.String(), err)
+		}
+		for _, title := range titles {
+			tk := tokenize.Tokenize(title)
+			if p1.Match(tk) != p2.Match(tk) {
+				t.Errorf("round trip of %q changed semantics on %q", src, title)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestZeroSeedNotAbsorbing(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced the absorbing zero state")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("catalog")
+	b := root.Split("crowd")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestSplitStable(t *testing.T) {
+	a := New(7).Split("x").Uint64()
+	b := New(7).Split("x").Uint64()
+	if a != b {
+		t.Fatal("Split is not stable for identical labels")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(3)
+	var s float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	if m := s / n; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("uniform mean far from 0.5: %v", m)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	var s, ss float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		s += v
+		ss += v * v
+	}
+	mean := s / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean far from 0: %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance far from 1: %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("permutation missing elements: %d", len(seen))
+	}
+}
+
+func TestSampleDistinctSorted(t *testing.T) {
+	r := New(6)
+	s := r.Sample(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("want 10 samples, got %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sample not strictly increasing at %d: %v", i, s)
+		}
+	}
+}
+
+func TestSampleAllWhenKLarge(t *testing.T) {
+	s := New(6).Sample(5, 10)
+	if len(s) != 5 {
+		t.Fatalf("want all 5, got %d", len(s))
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 10)
+	for trial := 0; trial < 20000; trial++ {
+		for _, idx := range r.Sample(10, 3) {
+			counts[idx]++
+		}
+	}
+	// Each index should be selected ~6000 times (3/10 of 20000).
+	for i, c := range counts {
+		if c < 5400 || c > 6600 {
+			t.Fatalf("index %d selected %d times, expected ~6000", i, c)
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	r := New(9)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedIndex(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weighted ratio %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexZeroMassFallsBackToUniform(t *testing.T) {
+	r := New(10)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[r.WeightedIndex([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("uniform fallback never drew index %d", i)
+		}
+	}
+}
+
+func TestZipfHeadHeavy(t *testing.T) {
+	r := New(11)
+	z := NewZipf(r, 100, 1.1)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50]*5 {
+		t.Fatalf("Zipf not head-heavy: head=%d mid=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfMassSumsToOne(t *testing.T) {
+	z := NewZipf(New(12), 50, 1.0)
+	var total float64
+	for k := 0; k < 50; k++ {
+		total += z.Mass(k)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("Zipf masses sum to %v", total)
+	}
+	if z.Mass(-1) != 0 || z.Mass(50) != 0 {
+		t.Fatal("out-of-range mass should be 0")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ~2.138", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := New(13)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	lo, hi := BootstrapCI(New(14), xs, 0.95, 500)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] excludes true mean 10", lo, hi)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, hi := BootstrapCI(New(1), nil, 0.95, 100)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty input should yield (0,0)")
+	}
+	lo, hi = BootstrapCI(New(1), []float64{3}, 0.95, 100)
+	if lo != 3 || hi != 3 {
+		t.Fatal("single observation should yield (x,x)")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(92, 100)
+	if lo < 0.84 || lo > 0.93 || hi < 0.92 || hi > 0.97 {
+		t.Fatalf("Wilson(92/100) = [%v, %v], outside expected bounds", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("Wilson with n=0 should be [0,1]")
+	}
+	lo, hi = WilsonInterval(5, 5)
+	if hi > 1 || lo < 0.5 {
+		t.Fatalf("Wilson(5/5) = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonBoundsProperty(t *testing.T) {
+	f := func(succ, n uint8) bool {
+		s, m := int(succ), int(n)
+		if m == 0 {
+			return true
+		}
+		s = s % (m + 1)
+		lo, hi := WilsonInterval(s, m)
+		p := float64(s) / float64(m)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleCoverage(t *testing.T) {
+	r := New(15)
+	s := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		seen[s[0]+s[1]+s[2]] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("shuffle reached %d of 6 permutations", len(seen))
+	}
+}
+
+func TestPickString(t *testing.T) {
+	r := New(16)
+	opts := []string{"x", "y"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.PickString(opts)] = true
+	}
+	if !seen["x"] || !seen["y"] {
+		t.Fatal("PickString never returned one of the options")
+	}
+}

@@ -1,0 +1,106 @@
+package randx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two observations are available.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BootstrapCI estimates a two-sided confidence interval for the mean of xs
+// by bootstrap resampling. level is the coverage (e.g. 0.95); iters bootstrap
+// replicates are drawn using r. It returns (lo, hi); for degenerate input it
+// returns the mean twice.
+func BootstrapCI(r *Rand, xs []float64, level float64, iters int) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) == 1 || iters <= 0 {
+		return xs[0], xs[0]
+	}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		var s float64
+		for j := 0; j < len(xs); j++ {
+			s += xs[r.Intn(len(xs))]
+		}
+		means[i] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2 * 100
+	return Percentile(means, alpha), Percentile(means, 100-alpha)
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// with successes out of n trials at ~95% confidence (z = 1.96). It is the
+// estimator the evaluation package uses to report rule precision from crowd
+// samples: unlike the naive ratio it behaves sensibly for the tiny samples
+// "tail" rules produce.
+func WilsonInterval(successes, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(successes) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	margin := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

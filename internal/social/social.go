@@ -1,0 +1,531 @@
+// Package social implements the §6 social-media substrate: the
+// Kosmix-style entity tagging pipeline of [3] (mention detection against a
+// KB with rule stages for overlap removal, profanity/slang blacklisting,
+// sentence-boundary checks and editorial control) and a Tweetbeat-style
+// event monitor [37] that displays event tweets in real time and uses rules
+// to scale itself down when an event misbehaves.
+package social
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/randx"
+	"repro/internal/tokenize"
+)
+
+// Tweet is one item of the synthetic stream, with simulation ground truth.
+type Tweet struct {
+	ID   int
+	Text string
+	// TrueEvent is the event the tweet is genuinely about ("" = background).
+	TrueEvent string
+	// TrueMentions are the canonical entity names genuinely referenced.
+	TrueMentions []string
+}
+
+// Mention is a tagged entity occurrence.
+type Mention struct {
+	Alias  string
+	Entity string
+	// Start/End are token offsets (sentence markers count as tokens).
+	Start, End int
+}
+
+// sentinel token injected at sentence boundaries.
+const boundary = "<s>"
+
+// tagTokens tokenizes tweet text, preserving sentence boundaries as
+// sentinel tokens so the straddling rule can fire.
+func tagTokens(text string) []string {
+	var out []string
+	for i, sentence := range strings.Split(text, ".") {
+		toks := tokenize.Tokenize(sentence)
+		if len(toks) == 0 {
+			continue
+		}
+		if i > 0 && len(out) > 0 {
+			out = append(out, boundary)
+		}
+		out = append(out, toks...)
+	}
+	return out
+}
+
+// Tagger is the rule-stage mention pipeline.
+type Tagger struct {
+	// aliases maps lower-case alias → candidate canonical entities (from
+	// the KB; ambiguous aliases carry several candidates).
+	aliases map[string][]string
+	// signatures maps entity → context tokens (category, canonical name,
+	// sibling aliases) used to disambiguate ambiguous aliases.
+	signatures map[string]map[string]bool
+	// Profanity and slang blacklists drop candidate mentions outright.
+	Profanity map[string]bool
+	Slang     map[string]bool
+	// EditorialBlacklist suppresses specific alias→entity tags; the
+	// editorial whitelist forces a tag even without KB support.
+	EditorialBlacklist map[string]bool
+	EditorialWhitelist map[string]string
+
+	maxAliasTokens int
+}
+
+// DefaultProfanity is a small stand-in blacklist.
+var DefaultProfanity = map[string]bool{"darn": true, "heck": true, "frick": true}
+
+// DefaultSlang is a small stand-in slang list.
+var DefaultSlang = map[string]bool{"lol": true, "smh": true, "imo": true, "tbh": true}
+
+// NewTagger builds a tagger over a KB's alias index, precomputing per-entity
+// context signatures for alias disambiguation.
+func NewTagger(base *kb.KB) *Tagger {
+	t := &Tagger{
+		aliases:            base.AliasIndex(),
+		signatures:         map[string]map[string]bool{},
+		Profanity:          DefaultProfanity,
+		Slang:              DefaultSlang,
+		EditorialBlacklist: map[string]bool{},
+		EditorialWhitelist: map[string]string{},
+	}
+	for alias, cands := range t.aliases {
+		n := len(strings.Fields(alias))
+		if n > t.maxAliasTokens {
+			t.maxAliasTokens = n
+		}
+		for _, entity := range cands {
+			sig := t.signatures[entity]
+			if sig == nil {
+				sig = map[string]bool{}
+				t.signatures[entity] = sig
+			}
+			e := base.Entity(entity)
+			if e != nil {
+				for _, tok := range tokenize.Tokenize(e.Category) {
+					sig[tok] = true
+				}
+				for _, a := range e.Aliases {
+					for _, tok := range tokenize.Tokenize(a) {
+						sig[tok] = true
+					}
+				}
+			}
+			for _, tok := range tokenize.Tokenize(entity) {
+				sig[tok] = true
+			}
+		}
+	}
+	return t
+}
+
+// Mentions runs the tagging pipeline on a tweet's text: candidate spans are
+// matched against the alias index (and editorial whitelist), then the rule
+// stages apply — sentence-boundary drop, profanity/slang drop, editorial
+// blacklist, and overlap resolution keeping the longest mention ("if both
+// 'Barack Obama' and 'Obama' are detected, drop 'Obama'").
+func (t *Tagger) Mentions(text string) []Mention {
+	tokens := tagTokens(text)
+	var cands []Mention
+	for start := 0; start < len(tokens); start++ {
+		for l := t.maxAliasTokens; l >= 1; l-- {
+			end := start + l
+			if end > len(tokens) {
+				continue
+			}
+			span := tokens[start:end]
+			if crosses(span) {
+				continue // sentence-boundary rule
+			}
+			alias := strings.Join(span, " ")
+			candidates := t.aliases[alias]
+			if forced, ok := t.EditorialWhitelist[alias]; ok {
+				candidates = []string{forced}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			if t.Profanity[alias] || t.Slang[alias] {
+				continue // profanity/slang rule
+			}
+			if t.EditorialBlacklist[alias] {
+				continue // editorial control
+			}
+			entity, ok := t.disambiguate(alias, candidates, tokens, start, end)
+			if !ok {
+				continue // ambiguous without contextual evidence: drop
+			}
+			cands = append(cands, Mention{Alias: alias, Entity: entity, Start: start, End: end})
+		}
+	}
+	// Overlap rule: longest span wins; ties to the earlier span.
+	sort.SliceStable(cands, func(i, j int) bool {
+		li, lj := cands[i].End-cands[i].Start, cands[j].End-cands[j].Start
+		if li != lj {
+			return li > lj
+		}
+		return cands[i].Start < cands[j].Start
+	})
+	var out []Mention
+	for _, c := range cands {
+		overlap := false
+		for _, kept := range out {
+			if c.Start < kept.End && kept.Start < c.End {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// disambiguate picks the entity an ambiguous alias refers to by scoring
+// each candidate's context signature against the rest of the tweet. Unique
+// aliases resolve immediately; ties (including no contextual evidence at
+// all) are dropped — the conservative editorial policy: better an untagged
+// mention than a wrong link on a live page.
+func (t *Tagger) disambiguate(alias string, candidates []string, tokens []string, start, end int) (string, bool) {
+	if len(candidates) == 1 {
+		return candidates[0], true
+	}
+	aliasToks := map[string]bool{}
+	for _, tok := range strings.Fields(alias) {
+		aliasToks[tok] = true
+	}
+	best, bestScore, tie := "", -1, false
+	for _, cand := range candidates {
+		sig := t.signatures[cand]
+		score := 0
+		for i, tok := range tokens {
+			if i >= start && i < end {
+				continue // the mention span itself is not evidence
+			}
+			if tok == boundary || aliasToks[tok] {
+				continue
+			}
+			if sig[tok] {
+				score++
+			}
+		}
+		switch {
+		case score > bestScore:
+			best, bestScore, tie = cand, score, false
+		case score == bestScore:
+			tie = true
+		}
+	}
+	if tie || bestScore <= 0 {
+		return "", false
+	}
+	return best, true
+}
+
+func crosses(span []string) bool {
+	for _, tok := range span {
+		if tok == boundary {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Events and the Tweetbeat monitor
+// ---------------------------------------------------------------------------
+
+// Event is a monitored real-world event.
+type Event struct {
+	Name     string
+	Keywords []string
+	// Entities are canonical KB entity names central to the event.
+	Entities []string
+}
+
+// Monitor classifies tweets into events in real time, with per-event
+// conservativeness rules for scale-down.
+type Monitor struct {
+	Tagger *Tagger
+	events map[string]*eventState
+}
+
+type eventState struct {
+	event Event
+	// threshold is the minimum evidence score to display a tweet.
+	threshold float64
+	disabled  bool
+}
+
+// baseThreshold is the default evidence score needed to display a tweet.
+const baseThreshold = 2
+
+// NewMonitor wires events to a tagger.
+func NewMonitor(tagger *Tagger, events []Event) *Monitor {
+	m := &Monitor{Tagger: tagger, events: map[string]*eventState{}}
+	for _, e := range events {
+		m.events[e.Name] = &eventState{event: e, threshold: baseThreshold}
+	}
+	return m
+}
+
+// score computes keyword/entity evidence of a tweet for an event: 1 per
+// distinct matched keyword, 2 per mentioned event entity.
+func (m *Monitor) score(e Event, tokens []string, mentions []Mention) float64 {
+	tokSet := map[string]bool{}
+	for _, t := range tokens {
+		tokSet[t] = true
+	}
+	var s float64
+	for _, kw := range e.Keywords {
+		if tokSet[kw] {
+			s++
+		}
+	}
+	for _, mn := range mentions {
+		for _, ent := range e.Entities {
+			if mn.Entity == ent {
+				s += 2
+			}
+		}
+	}
+	return s
+}
+
+// Tag assigns a tweet to the best-scoring active event whose score clears
+// its threshold; "" means the tweet is not displayed.
+func (m *Monitor) Tag(tw Tweet) string {
+	tokens := tagTokens(tw.Text)
+	mentions := m.Tagger.Mentions(tw.Text)
+	best, bestScore := "", 0.0
+	names := make([]string, 0, len(m.events))
+	for n := range m.events {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := m.events[n]
+		if st.disabled {
+			continue
+		}
+		s := m.score(st.event, tokens, mentions)
+		if s >= st.threshold && s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// ScaleDown makes an event more conservative by raising its threshold —
+// the §6 rule analysts apply when an event shows unrelated tweets.
+func (m *Monitor) ScaleDown(event string, extra float64) {
+	if st, ok := m.events[event]; ok {
+		st.threshold += extra
+	}
+}
+
+// Disable stops displaying the event entirely; Restore resets the event to
+// its default state.
+func (m *Monitor) Disable(event string) {
+	if st, ok := m.events[event]; ok {
+		st.disabled = true
+	}
+}
+
+// Restore re-enables an event at the base threshold.
+func (m *Monitor) Restore(event string) {
+	if st, ok := m.events[event]; ok {
+		st.disabled = false
+		st.threshold = baseThreshold
+	}
+}
+
+// WindowMetrics is per-event display quality over a tweet window.
+type WindowMetrics struct {
+	Displayed int
+	Correct   int
+	Missed    int
+	Precision float64
+	Recall    float64
+}
+
+// EvaluateWindow measures per-event precision/recall over a window using
+// the stream's ground truth.
+func (m *Monitor) EvaluateWindow(tweets []Tweet) map[string]WindowMetrics {
+	out := map[string]WindowMetrics{}
+	for name := range m.events {
+		out[name] = WindowMetrics{}
+	}
+	for _, tw := range tweets {
+		got := m.Tag(tw)
+		if got != "" {
+			wm := out[got]
+			wm.Displayed++
+			if got == tw.TrueEvent {
+				wm.Correct++
+			}
+			out[got] = wm
+		}
+		if tw.TrueEvent != "" && got != tw.TrueEvent {
+			wm := out[tw.TrueEvent]
+			wm.Missed++
+			out[tw.TrueEvent] = wm
+		}
+	}
+	for name, wm := range out {
+		if wm.Displayed > 0 {
+			wm.Precision = float64(wm.Correct) / float64(wm.Displayed)
+		}
+		if wm.Correct+wm.Missed > 0 {
+			wm.Recall = float64(wm.Correct) / float64(wm.Correct+wm.Missed)
+		}
+		out[name] = wm
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Stream generation
+// ---------------------------------------------------------------------------
+
+// Stream generates synthetic tweets about events against a KB.
+type Stream struct {
+	rng    *randx.Rand
+	base   *kb.KB
+	events []Event
+	nextID int
+	filler []string
+}
+
+// NewStream builds a generator.
+func NewStream(seed uint64, base *kb.KB, events []Event) *Stream {
+	return &Stream{
+		rng:    randx.New(seed).Split("social-stream"),
+		base:   base,
+		events: events,
+		filler: []string{
+			"just", "watching", "the", "game", "tonight", "wow", "cannot",
+			"believe", "this", "so", "good", "update", "breaking", "live",
+			"thread", "thoughts", "really", "big", "news", "today",
+		},
+	}
+}
+
+// WindowOptions shapes one generated window.
+type WindowOptions struct {
+	Size int
+	// PEvent is the probability a tweet belongs to some event (default 0.5).
+	PEvent float64
+	// ConfusingEvent, when set, injects tweets that reuse this event's
+	// keywords while genuinely being background chatter — the episode that
+	// degrades the event's display precision.
+	ConfusingEvent string
+	// PConfusing is the probability of such a decoy tweet (default 0.25
+	// when ConfusingEvent is set).
+	PConfusing float64
+}
+
+// Window generates one batch of tweets.
+func (s *Stream) Window(opts WindowOptions) []Tweet {
+	if opts.PEvent == 0 {
+		opts.PEvent = 0.5
+	}
+	if opts.ConfusingEvent != "" && opts.PConfusing == 0 {
+		opts.PConfusing = 0.25
+	}
+	var out []Tweet
+	for i := 0; i < opts.Size; i++ {
+		s.nextID++
+		tw := Tweet{ID: s.nextID}
+		switch {
+		case opts.ConfusingEvent != "" && s.rng.Bool(opts.PConfusing):
+			tw.Text = s.decoyText(opts.ConfusingEvent)
+		case s.rng.Bool(opts.PEvent):
+			ev := s.events[s.rng.Intn(len(s.events))]
+			tw.TrueEvent = ev.Name
+			tw.Text, tw.TrueMentions = s.eventText(ev)
+		default:
+			tw.Text = s.backgroundText()
+		}
+		out = append(out, tw)
+	}
+	return out
+}
+
+func (s *Stream) eventText(ev Event) (string, []string) {
+	var parts []string
+	var mentions []string
+	nKw := 2 + s.rng.Intn(2)
+	for i := 0; i < nKw && i < len(ev.Keywords); i++ {
+		parts = append(parts, ev.Keywords[s.rng.Intn(len(ev.Keywords))])
+	}
+	if len(ev.Entities) > 0 && s.rng.Bool(0.8) {
+		ent := ev.Entities[s.rng.Intn(len(ev.Entities))]
+		mentions = append(mentions, ent)
+		// Refer by alias or full name.
+		name := ent
+		if e := s.base.Entity(ent); e != nil && len(e.Aliases) > 0 && s.rng.Bool(0.5) {
+			name = e.Aliases[s.rng.Intn(len(e.Aliases))]
+		}
+		parts = append(parts, name)
+	}
+	for i := 0; i < 3; i++ {
+		parts = append(parts, s.filler[s.rng.Intn(len(s.filler))])
+	}
+	if s.rng.Bool(0.2) {
+		parts = append(parts, pick(s.rng, DefaultSlang))
+	}
+	if s.rng.Bool(0.1) {
+		parts = append(parts, pick(s.rng, DefaultProfanity))
+	}
+	s.rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	// Insert a sentence boundary sometimes.
+	text := strings.Join(parts, " ")
+	if s.rng.Bool(0.4) && len(parts) > 3 {
+		cut := 1 + s.rng.Intn(len(parts)-2)
+		text = strings.Join(parts[:cut], " ") + ". " + strings.Join(parts[cut:], " ")
+	}
+	return text, mentions
+}
+
+func (s *Stream) decoyText(eventName string) string {
+	var ev *Event
+	for i := range s.events {
+		if s.events[i].Name == eventName {
+			ev = &s.events[i]
+		}
+	}
+	if ev == nil {
+		return s.backgroundText()
+	}
+	// Decoys reuse several keywords but none of the event's entities — the
+	// "many unrelated tweets" failure episode.
+	var parts []string
+	for i := 0; i < 3 && i < len(ev.Keywords); i++ {
+		parts = append(parts, ev.Keywords[s.rng.Intn(len(ev.Keywords))])
+	}
+	for i := 0; i < 4; i++ {
+		parts = append(parts, s.filler[s.rng.Intn(len(s.filler))])
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *Stream) backgroundText() string {
+	var parts []string
+	n := 5 + s.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		parts = append(parts, s.filler[s.rng.Intn(len(s.filler))])
+	}
+	return strings.Join(parts, " ")
+}
+
+func pick(r *randx.Rand, set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[r.Intn(len(keys))]
+}

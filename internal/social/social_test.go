@@ -1,0 +1,268 @@
+package social
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func testKB(t *testing.T) *kb.KB {
+	t.Helper()
+	return kb.Build(kb.SyntheticSource(7, 0))
+}
+
+func testEvents() []Event {
+	return []Event{
+		{
+			Name:     "championship-final",
+			Keywords: []string{"final", "goal", "match", "stadium", "score"},
+			Entities: []string{"river city rovers", "harbor city hawks"},
+		},
+		{
+			Name:     "award-night",
+			Keywords: []string{"award", "red", "carpet", "winner", "stage"},
+			Entities: []string{"taylor swift", "moonrise festival"},
+		},
+	}
+}
+
+func TestMentionsBasic(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	ms := tg.Mentions("watching barack obama speak tonight")
+	if len(ms) != 1 || ms[0].Entity != "barack obama" {
+		t.Fatalf("mentions = %+v", ms)
+	}
+}
+
+func TestOverlapDropsShorterMention(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	// "barack obama" contains the alias "obama"; only the longer survives.
+	ms := tg.Mentions("big news barack obama arrives")
+	if len(ms) != 1 || ms[0].Alias != "barack obama" {
+		t.Fatalf("overlap rule failed: %+v", ms)
+	}
+}
+
+func TestAliasResolution(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	ms := tg.Mentions("sf is lovely today")
+	if len(ms) != 1 || ms[0].Entity != "san francisco" {
+		t.Fatalf("alias mention failed: %+v", ms)
+	}
+}
+
+func TestSentenceBoundaryRule(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	// "san" ends one sentence, "francisco" begins the next: the span
+	// straddles a boundary and must not be tagged.
+	ms := tg.Mentions("we flew to san. francisco was the next stop")
+	for _, m := range ms {
+		if m.Entity == "san francisco" {
+			t.Fatalf("mention straddles a sentence boundary: %+v", m)
+		}
+	}
+	// Control: without the boundary the mention is found.
+	ms = tg.Mentions("we flew to san francisco yesterday")
+	if len(ms) != 1 || ms[0].Entity != "san francisco" {
+		t.Fatalf("control mention missing: %+v", ms)
+	}
+}
+
+func TestProfanityAndSlangRules(t *testing.T) {
+	base := testKB(t)
+	tg := NewTagger(base)
+	// Pathological KB: an alias that collides with slang.
+	tg.aliases["lol"] = []string{"league of laughs"}
+	ms := tg.Mentions("lol what a day")
+	for _, m := range ms {
+		if m.Alias == "lol" {
+			t.Fatalf("slang alias tagged: %+v", m)
+		}
+	}
+	tg.aliases["darn"] = []string{"darn brand"}
+	ms = tg.Mentions("darn that was close")
+	for _, m := range ms {
+		if m.Alias == "darn" {
+			t.Fatalf("profanity alias tagged: %+v", m)
+		}
+	}
+}
+
+func TestEditorialRules(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	tg.EditorialBlacklist["the open"] = true
+	if ms := tg.Mentions("tickets for the open on sale"); len(ms) != 0 {
+		t.Fatalf("editorial blacklist ignored: %+v", ms)
+	}
+	tg.EditorialWhitelist["rovers fc"] = "river city rovers"
+	ms := tg.Mentions("rovers fc wins again")
+	found := false
+	for _, m := range ms {
+		if m.Entity == "river city rovers" && m.Alias == "rovers fc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("editorial whitelist ignored: %+v", ms)
+	}
+}
+
+func TestDisambiguationByContext(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	// Team context: "firebirds" is in the team's signature.
+	ms := tg.Mentions("phoenix fans cheer as the firebirds score")
+	foundTeam := false
+	for _, m := range ms {
+		if m.Alias == "phoenix" {
+			if m.Entity != "phoenix firebirds" {
+				t.Fatalf("team context resolved to %q", m.Entity)
+			}
+			foundTeam = true
+		}
+	}
+	if !foundTeam {
+		t.Fatalf("ambiguous alias not tagged despite team context: %v", ms)
+	}
+	// City context: "arizona" is in the city's signature (via the
+	// "phoenix arizona" alias).
+	ms = tg.Mentions("sunny weekend in phoenix and all of arizona")
+	foundCity := false
+	for _, m := range ms {
+		if m.Alias == "phoenix" && m.Entity == "phoenix" {
+			foundCity = true
+		}
+	}
+	if !foundCity {
+		t.Fatalf("city context not resolved: %v", ms)
+	}
+	// No context at all: the conservative policy drops the mention.
+	ms = tg.Mentions("thinking about phoenix today")
+	for _, m := range ms {
+		if m.Alias == "phoenix" {
+			t.Fatalf("context-free ambiguous alias should be dropped: %+v", m)
+		}
+	}
+}
+
+func TestDisambiguationLongSpanBeatsAmbiguity(t *testing.T) {
+	tg := NewTagger(testKB(t))
+	// The full name is unambiguous and longest-match wins outright.
+	ms := tg.Mentions("phoenix firebirds announce new coach")
+	if len(ms) != 1 || ms[0].Entity != "phoenix firebirds" || ms[0].Alias != "phoenix firebirds" {
+		t.Fatalf("full-name mention wrong: %+v", ms)
+	}
+}
+
+func TestMonitorTagsEventTweets(t *testing.T) {
+	base := testKB(t)
+	m := NewMonitor(NewTagger(base), testEvents())
+	tw := Tweet{Text: "goal at the stadium rovers take the final"}
+	if got := m.Tag(tw); got != "championship-final" {
+		t.Fatalf("tag = %q", got)
+	}
+	if got := m.Tag(Tweet{Text: "thinking about lunch"}); got != "" {
+		t.Fatalf("background tweet displayed as %q", got)
+	}
+}
+
+func TestMonitorWindowQuality(t *testing.T) {
+	base := testKB(t)
+	events := testEvents()
+	m := NewMonitor(NewTagger(base), events)
+	s := NewStream(11, base, events)
+	window := s.Window(WindowOptions{Size: 1200})
+	metrics := m.EvaluateWindow(window)
+	for name, wm := range metrics {
+		if wm.Displayed == 0 {
+			t.Fatalf("event %q displayed nothing", name)
+		}
+		if wm.Precision < 0.85 {
+			t.Fatalf("event %q precision %.3f too low", name, wm.Precision)
+		}
+		if wm.Recall < 0.4 {
+			t.Fatalf("event %q recall %.3f too low", name, wm.Recall)
+		}
+	}
+}
+
+func TestScaleDownDrill(t *testing.T) {
+	// The §6 drill: a decoy episode floods one event with unrelated tweets;
+	// analysts scale the event down (raise its threshold); precision
+	// recovers at a recall cost.
+	base := testKB(t)
+	events := testEvents()
+	m := NewMonitor(NewTagger(base), events)
+	s := NewStream(13, base, events)
+
+	bad := s.Window(WindowOptions{Size: 1500, ConfusingEvent: "championship-final", PConfusing: 0.35})
+	before := m.EvaluateWindow(bad)["championship-final"]
+	if before.Precision > 0.85 {
+		t.Skipf("decoy episode not strong enough: precision %.3f", before.Precision)
+	}
+
+	m.ScaleDown("championship-final", 2) // demand entity evidence, not just keywords
+	after := m.EvaluateWindow(bad)["championship-final"]
+	if after.Precision <= before.Precision {
+		t.Fatalf("scale-down did not improve precision: %.3f → %.3f", before.Precision, after.Precision)
+	}
+	if after.Precision < 0.8 {
+		t.Fatalf("scaled-down precision still low: %.3f", after.Precision)
+	}
+	if after.Recall > before.Recall {
+		t.Fatalf("conservativeness should cost recall: %.3f → %.3f", before.Recall, after.Recall)
+	}
+
+	// Restore resets behaviour.
+	m.Restore("championship-final")
+	restored := m.EvaluateWindow(bad)["championship-final"]
+	if restored.Displayed != before.Displayed {
+		t.Fatalf("restore incomplete: %d vs %d displayed", restored.Displayed, before.Displayed)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	base := testKB(t)
+	m := NewMonitor(NewTagger(base), testEvents())
+	m.Disable("championship-final")
+	tw := Tweet{Text: "goal at the stadium rovers take the final match"}
+	if got := m.Tag(tw); got == "championship-final" {
+		t.Fatal("disabled event still displayed")
+	}
+	m.Restore("championship-final")
+	if got := m.Tag(tw); got != "championship-final" {
+		t.Fatalf("restore failed: %q", got)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	base := testKB(t)
+	events := testEvents()
+	a := NewStream(5, base, events).Window(WindowOptions{Size: 50})
+	b := NewStream(5, base, events).Window(WindowOptions{Size: 50})
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].TrueEvent != b[i].TrueEvent {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestStreamGroundTruthMentions(t *testing.T) {
+	base := testKB(t)
+	events := testEvents()
+	s := NewStream(17, base, events)
+	window := s.Window(WindowOptions{Size: 500})
+	withMentions := 0
+	for _, tw := range window {
+		if len(tw.TrueMentions) > 0 {
+			withMentions++
+			for _, m := range tw.TrueMentions {
+				if base.Entity(m) == nil {
+					t.Fatalf("ground-truth mention %q not in KB", m)
+				}
+			}
+		}
+	}
+	if withMentions == 0 {
+		t.Fatal("no tweets carry ground-truth mentions")
+	}
+}

@@ -1,0 +1,361 @@
+// Package synonym implements the §5.1 WalmartLabs tool that helps analysts
+// expand a rule's disjunction with "synonyms" in minutes instead of hours.
+//
+// Given a pattern with a \syn slot — e.g. (motor | engine | \syn) oils? —
+// and a development corpus of product titles, the tool:
+//
+//  1. matches the generalized patterns over the corpus, extracting every
+//     candidate phrase of up to MaxSynLen tokens that fills the slot,
+//     together with its prefix/suffix context windows;
+//  2. ranks candidates by TF-IDF cosine similarity between their mean
+//     context vectors and the golden synonyms' mean context vectors
+//     (score = wp·prefix_sim + ws·suffix_sim);
+//  3. shows the analyst the top k with sample titles; incorporates the
+//     accept/reject feedback via the Rocchio update, re-ranks, and repeats
+//     until the candidates are exhausted or the analyst stops.
+package synonym
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/textvec"
+)
+
+// Options parameterizes the tool. Zero values take the paper's production
+// settings.
+type Options struct {
+	MaxSynLen    int     // candidate length bound in tokens (paper: 3)
+	ContextWidth int     // context window in tokens (paper: 5)
+	TopK         int     // candidates shown per iteration (paper: 10)
+	Wp, Ws       float64 // prefix/suffix balance (paper: 0.5 / 0.5)
+	// Rocchio weights (α keeps the old mean, β pulls toward accepted
+	// candidates, γ pushes away from rejected ones).
+	Alpha, Beta, Gamma float64
+	// MaxSamples is how many sample titles are kept per candidate.
+	MaxSamples int
+	// DisableFeedback freezes the golden context means: labels still remove
+	// candidates from the pool, but the ranking never adapts. This is the
+	// ablation of the §5.1 Rocchio re-ranking step.
+	DisableFeedback bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSynLen == 0 {
+		o.MaxSynLen = 3
+	}
+	if o.ContextWidth == 0 {
+		o.ContextWidth = 5
+	}
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.Wp == 0 && o.Ws == 0 {
+		o.Wp, o.Ws = 0.5, 0.5
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.75
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.25
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 3
+	}
+	return o
+}
+
+// Candidate is one ranked synonym candidate.
+type Candidate struct {
+	Phrase []string
+	Score  float64
+	// Matches counts occurrences in the corpus.
+	Matches int
+	// SampleTitles are up to MaxSamples corpus indices where the candidate
+	// appears, for the analyst to inspect.
+	SampleTitles []int
+}
+
+// Key returns the canonical phrase form.
+func (c Candidate) Key() string { return strings.Join(c.Phrase, " ") }
+
+type candState struct {
+	phrase  []string
+	prefix  textvec.Vector // mean normalized prefix vector
+	suffix  textvec.Vector
+	matches int
+	samples []int
+	labeled bool
+}
+
+// Tool is one synonym-expansion session over a fixed corpus.
+type Tool struct {
+	opts          Options
+	pat           *pattern.Pattern
+	meanP         textvec.Vector // golden mean prefix vector (M̄_p), Rocchio-updated
+	meanS         textvec.Vector
+	cands         map[string]*candState
+	accepted      [][]string
+	rejected      [][]string
+	goldenMatches int
+}
+
+// ErrNoSynSlot is returned for patterns without a \syn slot.
+var ErrNoSynSlot = errors.New("synonym: pattern has no \\syn slot")
+
+// ErrNoMatches is returned when the generalized pattern matches nothing in
+// the corpus (the tool's 1-in-25 failure case in the paper's evaluation).
+var ErrNoMatches = errors.New("synonym: pattern matches nothing in the corpus")
+
+// NewTool prepares a session: extracts matches, builds context corpora and
+// computes the initial ranking state.
+func NewTool(p *pattern.Pattern, titles [][]string, opts Options) (*Tool, error) {
+	if !p.HasSyn() {
+		return nil, ErrNoSynSlot
+	}
+	opts = opts.withDefaults()
+
+	golden := map[string]bool{}
+	for _, g := range p.SynGolden() {
+		golden[strings.Join(g, " ")] = true
+	}
+
+	// Pass 1: collect matches and their contexts.
+	type rawMatch struct {
+		key      string
+		phrase   []string
+		prefix   []string
+		suffix   []string
+		titleIdx int
+	}
+	var matches []rawMatch
+	synOpts := pattern.SynOptions{MaxSynLen: opts.MaxSynLen, ContextWidth: opts.ContextWidth}
+	for ti, title := range titles {
+		for _, m := range p.FindSyn(title, synOpts) {
+			matches = append(matches, rawMatch{
+				key: m.Key(), phrase: m.Candidate,
+				prefix: m.Prefix, suffix: m.Suffix, titleIdx: ti,
+			})
+		}
+	}
+	if len(matches) == 0 {
+		return nil, ErrNoMatches
+	}
+
+	// Context corpora for IDF (one per side, per §5.1's df_t over matches).
+	prefixCorpus, suffixCorpus := textvec.NewCorpus(), textvec.NewCorpus()
+	for _, m := range matches {
+		prefixCorpus.Add(m.prefix)
+		suffixCorpus.Add(m.suffix)
+	}
+
+	t := &Tool{opts: opts, pat: p, cands: map[string]*candState{}}
+	var goldenP, goldenS []textvec.Vector
+	perCandP := map[string][]textvec.Vector{}
+	perCandS := map[string][]textvec.Vector{}
+	for _, m := range matches {
+		pv := prefixCorpus.TFIDF(m.prefix).Normalized()
+		sv := suffixCorpus.TFIDF(m.suffix).Normalized()
+		if golden[m.key] {
+			goldenP = append(goldenP, pv)
+			goldenS = append(goldenS, sv)
+			t.goldenMatches++
+			continue
+		}
+		if endsWithGolden(m.phrase, p.SynGolden()) {
+			// "synthetic motor" filling the slot of (motor|…) oils? is an
+			// artifact of the longer generalized regex: the golden itself
+			// already matches at this position, with "synthetic" as mere
+			// context. Dropping these mirrors the paper's removal of golden
+			// synonyms from the candidate set.
+			continue
+		}
+		perCandP[m.key] = append(perCandP[m.key], pv)
+		perCandS[m.key] = append(perCandS[m.key], sv)
+		cs := t.cands[m.key]
+		if cs == nil {
+			cs = &candState{phrase: m.phrase}
+			t.cands[m.key] = cs
+		}
+		cs.matches++
+		if len(cs.samples) < opts.MaxSamples {
+			cs.samples = append(cs.samples, m.titleIdx)
+		}
+	}
+	for key, cs := range t.cands {
+		cs.prefix = textvec.Mean(perCandP[key])
+		cs.suffix = textvec.Mean(perCandS[key])
+	}
+	t.meanP = textvec.Mean(goldenP)
+	t.meanS = textvec.Mean(goldenS)
+	return t, nil
+}
+
+// endsWithGolden reports whether phrase has a strict suffix (or is longer
+// than and ends with) one of the golden token sequences.
+func endsWithGolden(phrase []string, goldens [][]string) bool {
+	for _, g := range goldens {
+		if len(g) == 0 || len(phrase) <= len(g) {
+			continue
+		}
+		match := true
+		off := len(phrase) - len(g)
+		for i, tok := range g {
+			if phrase[off+i] != tok {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// GoldenMatches returns how many corpus matches used a golden synonym.
+func (t *Tool) GoldenMatches() int { return t.goldenMatches }
+
+// Remaining returns the number of unlabeled candidates.
+func (t *Tool) Remaining() int {
+	n := 0
+	for _, cs := range t.cands {
+		if !cs.labeled {
+			n++
+		}
+	}
+	return n
+}
+
+// score computes the §5.1 similarity score of a candidate against the
+// current golden context means.
+func (t *Tool) score(cs *candState) float64 {
+	return t.opts.Wp*cs.prefix.Cosine(t.meanP) + t.opts.Ws*cs.suffix.Cosine(t.meanS)
+}
+
+// Top returns the k highest-scoring unlabeled candidates (ties broken by
+// match count, then phrase).
+func (t *Tool) Top(k int) []Candidate {
+	var out []Candidate
+	for _, cs := range t.cands {
+		if cs.labeled {
+			continue
+		}
+		out = append(out, Candidate{
+			Phrase: cs.phrase, Score: t.score(cs),
+			Matches: cs.matches, SampleTitles: cs.samples,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Matches != out[j].Matches {
+			return out[i].Matches > out[j].Matches
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Feedback incorporates the analyst's labels for shown candidates: accepted
+// phrases join the expansion set, both label sets leave the pool, and the
+// golden context means move via the Rocchio update.
+func (t *Tool) Feedback(accepted, rejected []string) {
+	var corrP, corrS, incP, incS []textvec.Vector
+	for _, key := range accepted {
+		if cs, ok := t.cands[key]; ok && !cs.labeled {
+			cs.labeled = true
+			t.accepted = append(t.accepted, cs.phrase)
+			corrP = append(corrP, cs.prefix)
+			corrS = append(corrS, cs.suffix)
+		}
+	}
+	for _, key := range rejected {
+		if cs, ok := t.cands[key]; ok && !cs.labeled {
+			cs.labeled = true
+			t.rejected = append(t.rejected, cs.phrase)
+			incP = append(incP, cs.prefix)
+			incS = append(incS, cs.suffix)
+		}
+	}
+	if t.opts.DisableFeedback {
+		return
+	}
+	t.meanP = textvec.Rocchio(t.meanP, corrP, incP, t.opts.Alpha, t.opts.Beta, t.opts.Gamma)
+	t.meanS = textvec.Rocchio(t.meanS, corrS, incS, t.opts.Alpha, t.opts.Beta, t.opts.Gamma)
+}
+
+// Accepted returns the accepted phrases in acceptance order.
+func (t *Tool) Accepted() [][]string { return t.accepted }
+
+// ExpandedPattern returns the input pattern with the slot replaced by the
+// goldens plus all accepted synonyms — the tool's final output.
+func (t *Tool) ExpandedPattern() *pattern.Pattern {
+	return t.pat.WithSynExpanded(t.accepted)
+}
+
+// SessionStats summarizes a completed tool session — the quantities §5.1
+// reports (iterations of working with the analyst, synonyms found, analyst
+// effort in shown candidates).
+type SessionStats struct {
+	Iterations      int
+	CandidatesShown int
+	Accepted        int
+	// ExhaustedPool reports whether the session ended because every
+	// candidate was labeled (vs. the analyst stopping).
+	ExhaustedPool bool
+}
+
+// Oracle answers "is this phrase a correct synonym?" — in production the
+// analyst, in experiments a ground-truth-backed simulated analyst.
+type Oracle func(phrase []string) bool
+
+// RunSession drives the interactive loop automatically: show TopK, label via
+// the oracle, feed back, repeat. It stops after maxIter iterations (0 =
+// unlimited), when the pool is exhausted, or after stopAfterBarren
+// consecutive iterations with no accepted candidate (0 = never stop early —
+// though note the paper's analysts stop "when they think they have found
+// enough synonyms").
+func RunSession(t *Tool, oracle Oracle, maxIter, stopAfterBarren int) SessionStats {
+	var stats SessionStats
+	barren := 0
+	for {
+		if maxIter > 0 && stats.Iterations >= maxIter {
+			return stats
+		}
+		top := t.Top(t.opts.TopK)
+		if len(top) == 0 {
+			stats.ExhaustedPool = true
+			return stats
+		}
+		stats.Iterations++
+		stats.CandidatesShown += len(top)
+		var accepted, rejected []string
+		for _, c := range top {
+			if oracle(c.Phrase) {
+				accepted = append(accepted, c.Key())
+			} else {
+				rejected = append(rejected, c.Key())
+			}
+		}
+		stats.Accepted += len(accepted)
+		t.Feedback(accepted, rejected)
+		if len(accepted) == 0 {
+			barren++
+			if stopAfterBarren > 0 && barren >= stopAfterBarren {
+				return stats
+			}
+		} else {
+			barren = 0
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package textvec implements sparse TF-IDF vectors, cosine similarity, mean
+// vectors and Rocchio relevance feedback — the vector-space machinery behind
+// the §5.1 synonym-finder tool and the kNN classifier.
+package textvec
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse term-weight vector.
+type Vector map[string]float64
+
+// Corpus accumulates document frequencies so TF-IDF weights can be computed.
+// It corresponds to the |M| matches / df_t bookkeeping of §5.1.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// Add registers one document's tokens (duplicates within a document count
+// once toward document frequency, per the standard df definition).
+func (c *Corpus) Add(tokens []string) {
+	c.docs++
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			c.df[t]++
+		}
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns log(|M| / df_t) as in §5.1. Unknown terms get the maximal IDF
+// log(|M|+1) so that novel context words are treated as highly specific.
+func (c *Corpus) IDF(term string) float64 {
+	if c.docs == 0 {
+		return 0
+	}
+	df := c.df[term]
+	if df == 0 {
+		return math.Log(float64(c.docs) + 1)
+	}
+	return math.Log(float64(c.docs) / float64(df))
+}
+
+// TFIDF builds the weighted vector for tokens: w_t = tf_t * idf_t.
+func (c *Corpus) TFIDF(tokens []string) Vector {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	v := make(Vector, len(tf))
+	for t, f := range tf {
+		v[t] = float64(f) * c.IDF(t)
+	}
+	return v
+}
+
+// Norm returns the L2 norm of v, summing in sorted term order for
+// bit-for-bit reproducibility.
+func (v Vector) Norm() float64 {
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var s float64
+	for _, t := range terms {
+		s += v[t] * v[t]
+	}
+	return math.Sqrt(s)
+}
+
+// Normalized returns a unit-length copy of v (the P̂_m of §5.1).
+// The zero vector normalizes to an empty vector.
+func (v Vector) Normalized() Vector {
+	n := v.Norm()
+	out := make(Vector, len(v))
+	if n == 0 {
+		return out
+	}
+	for t, w := range v {
+		out[t] = w / n
+	}
+	return out
+}
+
+// Dot returns the inner product of v and u. Terms are summed in sorted
+// order so the result is bit-for-bit reproducible across runs (float
+// addition is not associative, and map iteration order varies).
+func (v Vector) Dot(u Vector) float64 {
+	// Iterate the smaller map.
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		if _, ok := u[t]; ok {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	var s float64
+	for _, t := range terms {
+		s += v[t] * u[t]
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of v and u, 0 if either is zero.
+func (v Vector) Cosine(u Vector) float64 {
+	nv, nu := v.Norm(), u.Norm()
+	if nv == 0 || nu == 0 {
+		return 0
+	}
+	return v.Dot(u) / (nv * nu)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for t, w := range v {
+		out[t] = w
+	}
+	return out
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector {
+	out := make(Vector, len(v))
+	for t, w := range v {
+		out[t] = w * k
+	}
+	return out
+}
+
+// AddInPlace adds k*u into v.
+func (v Vector) AddInPlace(u Vector, k float64) {
+	for t, w := range u {
+		v[t] += w * k
+	}
+}
+
+// TopTerms returns the n highest-weight terms of v in descending weight
+// order (ties broken alphabetically for determinism). Useful for debugging
+// and for the synonym tool's explanations.
+func (v Vector) TopTerms(n int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(v))
+	for t, w := range v {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of vs (the M̄ vectors of §5.1).
+// An empty input yields an empty vector.
+func Mean(vs []Vector) Vector {
+	out := Vector{}
+	if len(vs) == 0 {
+		return out
+	}
+	for _, v := range vs {
+		out.AddInPlace(v, 1)
+	}
+	k := 1 / float64(len(vs))
+	for t := range out {
+		out[t] *= k
+	}
+	return out
+}
+
+// Rocchio updates a mean context vector per the §5.1 feedback formula:
+//
+//	M' = alpha*M + beta/|Cr| * sum(correct) - gamma/|Cnr| * sum(incorrect)
+//
+// correct and incorrect are the per-candidate mean vectors labeled by the
+// analyst this iteration. Negative weights are clamped to zero, the usual
+// Rocchio convention, so a term's influence can be cancelled but not
+// inverted.
+func Rocchio(m Vector, correct, incorrect []Vector, alpha, beta, gamma float64) Vector {
+	out := m.Scale(alpha)
+	if len(correct) > 0 {
+		k := beta / float64(len(correct))
+		for _, v := range correct {
+			out.AddInPlace(v, k)
+		}
+	}
+	if len(incorrect) > 0 {
+		k := gamma / float64(len(incorrect))
+		for _, v := range incorrect {
+			out.AddInPlace(v, -k)
+		}
+	}
+	for t, w := range out {
+		if w <= 0 {
+			delete(out, t)
+		}
+	}
+	return out
+}
+
+// Jaccard returns |A∩B| / |A∪B| over two token multisets treated as sets.
+// Empty-empty is defined as 0 (two items with no tokens share no evidence).
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	sa := make(map[string]bool, len(a))
+	for _, t := range a {
+		sa[t] = true
+	}
+	sb := make(map[string]bool, len(b))
+	for _, t := range b {
+		sb[t] = true
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

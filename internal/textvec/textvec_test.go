@@ -1,0 +1,200 @@
+package textvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCorpusIDF(t *testing.T) {
+	c := NewCorpus()
+	c.Add([]string{"motor", "oil"})
+	c.Add([]string{"engine", "oil"})
+	c.Add([]string{"olive", "oil"})
+	if c.Docs() != 3 {
+		t.Fatalf("docs = %d", c.Docs())
+	}
+	if !almostEq(c.IDF("oil"), math.Log(1)) {
+		t.Fatalf("idf(oil) = %v, want 0", c.IDF("oil"))
+	}
+	if !almostEq(c.IDF("motor"), math.Log(3)) {
+		t.Fatalf("idf(motor) = %v", c.IDF("motor"))
+	}
+	if !almostEq(c.IDF("unknown"), math.Log(4)) {
+		t.Fatalf("idf(unknown) = %v, want log(4)", c.IDF("unknown"))
+	}
+}
+
+func TestIDFCountsDocumentOnce(t *testing.T) {
+	c := NewCorpus()
+	c.Add([]string{"oil", "oil", "oil"})
+	c.Add([]string{"ring"})
+	if !almostEq(c.IDF("oil"), math.Log(2)) {
+		t.Fatalf("duplicate tokens inflated df: idf=%v", c.IDF("oil"))
+	}
+}
+
+func TestTFIDFWeights(t *testing.T) {
+	c := NewCorpus()
+	c.Add([]string{"motor", "oil"})
+	c.Add([]string{"ring"})
+	v := c.TFIDF([]string{"motor", "motor", "ring"})
+	if !almostEq(v["motor"], 2*math.Log(2)) {
+		t.Fatalf("w(motor) = %v", v["motor"])
+	}
+	if !almostEq(v["ring"], math.Log(2)) {
+		t.Fatalf("w(ring) = %v", v["ring"])
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := Vector{"a": 3, "b": 4}
+	n := v.Normalized()
+	if !almostEq(n.Norm(), 1) {
+		t.Fatalf("norm = %v", n.Norm())
+	}
+	if !almostEq(n["a"], 0.6) || !almostEq(n["b"], 0.8) {
+		t.Fatalf("bad components: %v", n)
+	}
+	zero := Vector{}.Normalized()
+	if len(zero) != 0 {
+		t.Fatal("zero vector should normalize to empty")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vector{"x": 1, "y": 0}
+	b := Vector{"x": 1, "y": 0}
+	if !almostEq(a.Cosine(b), 1) {
+		t.Fatal("identical vectors should have cosine 1")
+	}
+	c := Vector{"z": 5}
+	if !almostEq(a.Cosine(c), 0) {
+		t.Fatal("orthogonal vectors should have cosine 0")
+	}
+	if !almostEq(a.Cosine(Vector{}), 0) {
+		t.Fatal("zero vector cosine should be 0")
+	}
+}
+
+func TestCosineSymmetryProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := Vector{}, Vector{}
+		for i, x := range xs {
+			a[string(rune('a'+i%26))] = float64(x)
+		}
+		for i, y := range ys {
+			b[string(rune('a'+i%26))] = float64(y)
+		}
+		s1, s2 := a.Cosine(b), b.Cosine(a)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= -1e-9 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{"a": 2}, {"a": 4, "b": 2}})
+	if !almostEq(m["a"], 3) || !almostEq(m["b"], 1) {
+		t.Fatalf("bad mean: %v", m)
+	}
+	if len(Mean(nil)) != 0 {
+		t.Fatal("mean of nothing should be empty")
+	}
+}
+
+func TestRocchioMovesTowardCorrect(t *testing.T) {
+	m := Vector{"shared": 1}
+	correct := []Vector{{"good": 2, "shared": 1}}
+	incorrect := []Vector{{"bad": 2, "shared": 0.5}}
+	out := Rocchio(m, correct, incorrect, 1, 0.75, 0.25)
+	if out["good"] <= 0 {
+		t.Fatal("correct-context term should gain weight")
+	}
+	if _, ok := out["bad"]; ok {
+		t.Fatal("incorrect-only term should be clamped out")
+	}
+	if out["shared"] >= 2 || out["shared"] <= 1 {
+		t.Fatalf("shared term should move moderately: %v", out["shared"])
+	}
+}
+
+func TestRocchioClampNegative(t *testing.T) {
+	out := Rocchio(Vector{}, nil, []Vector{{"noise": 5}}, 1, 0.75, 0.25)
+	if len(out) != 0 {
+		t.Fatalf("pure-negative update should clamp to empty, got %v", out)
+	}
+}
+
+func TestRocchioEmptyFeedbackScalesOnly(t *testing.T) {
+	m := Vector{"a": 2}
+	out := Rocchio(m, nil, nil, 0.5, 0.75, 0.25)
+	if !almostEq(out["a"], 1) {
+		t.Fatalf("alpha scaling broken: %v", out)
+	}
+	if !almostEq(m["a"], 2) {
+		t.Fatal("Rocchio mutated its input mean")
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	v := Vector{"low": 1, "hi": 10, "mid": 5, "tie": 5}
+	got := v.TopTerms(3)
+	if got[0] != "hi" {
+		t.Fatalf("top term = %q", got[0])
+	}
+	// "mid" and "tie" tie at 5; alphabetical order breaks the tie.
+	if got[1] != "mid" || got[2] != "tie" {
+		t.Fatalf("tie-break order wrong: %v", got)
+	}
+	if len(v.TopTerms(99)) != 4 {
+		t.Fatal("overlong n should clamp")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if !almostEq(Jaccard([]string{"a", "b"}, []string{"b", "c"}), 1.0/3) {
+		t.Fatal("jaccard(ab,bc) should be 1/3")
+	}
+	if Jaccard(nil, nil) != 0 {
+		t.Fatal("empty-empty jaccard should be 0")
+	}
+	if !almostEq(Jaccard([]string{"x", "x"}, []string{"x"}), 1) {
+		t.Fatal("duplicates should not affect jaccard")
+	}
+}
+
+func TestDotIteratesSmallerSide(t *testing.T) {
+	big := Vector{}
+	for i := 0; i < 100; i++ {
+		big[string(rune('a'+i%26))+string(rune('0'+i/26))] = 1
+	}
+	small := Vector{"a0": 2}
+	if !almostEq(big.Dot(small), 2) || !almostEq(small.Dot(big), 2) {
+		t.Fatal("dot should be symmetric")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{"a": 1}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAddInPlaceAndScale(t *testing.T) {
+	v := Vector{"a": 1}
+	v.AddInPlace(Vector{"a": 1, "b": 3}, 2)
+	if !almostEq(v["a"], 3) || !almostEq(v["b"], 6) {
+		t.Fatalf("AddInPlace wrong: %v", v)
+	}
+	s := v.Scale(0.5)
+	if !almostEq(s["b"], 3) || !almostEq(v["b"], 6) {
+		t.Fatal("Scale should not mutate the receiver")
+	}
+}

@@ -1,0 +1,325 @@
+// Package repro is a rule-management platform for semantics-intensive Big
+// Data systems, reproducing "Why Big Data Industrial Systems Need Rules and
+// What We Can Do About It" (SIGMOD 2015).
+//
+// The package is a documented facade over the implementation packages in
+// internal/; examples/ and cmd/ build exclusively against it. The main entry
+// points:
+//
+//   - Rules: NewWhitelist / NewBlacklist / NewGate / NewAttrExists /
+//     NewAttrValue / NewFilter construct analyst rules; NewRulebase manages
+//     them with versioning, scale-down/up and an audit log.
+//   - Execution: NewIndexedExecutor / NewSequentialExecutor evaluate rules
+//     over items; ExecuteBatch shards a batch across workers.
+//   - The pipeline: NewPipeline assembles the Chimera architecture
+//     (Figure 2): Gate Keeper → rule, attribute and learned classifiers →
+//     Voting Master → Filter, plus the crowd-evaluation / analyst-repair
+//     loop.
+//   - Tools: NewSynonymTool is the §5.1 synonym finder; GenerateRules is
+//     the §5.2 rule miner (AprioriAll + Greedy-Biased selection).
+//   - Evaluation: EvaluateWithValidationSet / EvaluatePerRule /
+//     EvaluateModule are the three §4 quality-evaluation methods.
+//   - Maintenance: FindSubsumed / FindDuplicates / FindOverlaps / FindStale
+//     / ConsolidateWhitelists are the §4 maintenance analyses.
+//   - Substrates: NewCatalog generates the synthetic product feed; NewCrowd
+//     and NewAnalyst simulate the human layer; the em, ie, kb and social
+//     capabilities of §6 are re-exported under their own names.
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/chimera"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/em"
+	"repro/internal/evaluate"
+	"repro/internal/ie"
+	"repro/internal/kb"
+	"repro/internal/learn"
+	"repro/internal/mining"
+	"repro/internal/pattern"
+	"repro/internal/randx"
+	"repro/internal/social"
+	"repro/internal/synonym"
+)
+
+// --- Rule model and management (internal/core) -----------------------------
+
+type (
+	// Rule is one managed classification rule (whitelist, blacklist, gate,
+	// attribute, or filter).
+	Rule = core.Rule
+	// Rulebase is the versioned, auditable rule repository.
+	Rulebase = core.Rulebase
+	// RuleKind enumerates rule families.
+	RuleKind = core.Kind
+	// Guard is an attribute-side rule condition (§4's language extension:
+	// "title contains Apple AND price < 100").
+	Guard = core.Guard
+	// Verdict is the outcome of executing a rule set on an item.
+	Verdict = core.Verdict
+	// Executor evaluates rule sets against items.
+	Executor = core.Executor
+	// RuleIndex locates the rules likely to match an item.
+	RuleIndex = core.RuleIndex
+	// DataIndex locates the items a rule is likely to match.
+	DataIndex = core.DataIndex
+	// SubsumedPair, DuplicatePair, OverlapPair and StaleRule are the
+	// maintenance findings of §4.
+	SubsumedPair  = core.SubsumedPair
+	DuplicatePair = core.DuplicatePair
+	OverlapPair   = core.OverlapPair
+	StaleRule     = core.StaleRule
+	// Consolidation is a merge of several whitelist rules.
+	Consolidation = core.Consolidation
+	// DevSession is the indexed rule-development loop of §4.
+	DevSession = core.DevSession
+	// DevReport is one rule attempt's feedback.
+	DevReport = core.DevReport
+	// RetargetProposal suggests successor rules after a taxonomy split.
+	RetargetProposal = core.RetargetProposal
+)
+
+// Rule kinds.
+const (
+	Whitelist  = core.Whitelist
+	Blacklist  = core.Blacklist
+	AttrExists = core.AttrExists
+	AttrValue  = core.AttrValue
+	Gate       = core.Gate
+	Filter     = core.Filter
+	// TypeRestrict constrains an item's admissible types by title pattern.
+	TypeRestrict = core.TypeRestrict
+)
+
+// Rule constructors.
+var (
+	NewWhitelist    = core.NewWhitelist
+	NewBlacklist    = core.NewBlacklist
+	NewGate         = core.NewGate
+	NewAttrExists   = core.NewAttrExists
+	NewAttrValue    = core.NewAttrValue
+	NewFilter       = core.NewFilter
+	NewTypeRestrict = core.NewTypeRestrict
+	NewRulebase     = core.NewRulebase
+	NewDevSession   = core.NewDevSession
+)
+
+// Execution.
+var (
+	NewSequentialExecutor    = core.NewSequentialExecutor
+	NewIndexedExecutor       = core.NewIndexedExecutor
+	NewIndexedExecutorWithDF = core.NewIndexedExecutorWithDF
+	NewRuleIndex             = core.NewRuleIndex
+	NewDataIndex             = core.NewDataIndex
+	ExecuteBatch             = core.ExecuteBatch
+	TokenDF                  = core.TokenDF
+	CheckOrderIndependence   = core.CheckOrderIndependence
+	FindConflicts            = core.FindConflicts
+)
+
+// Maintenance analyses.
+var (
+	FindSubsumed          = core.FindSubsumed
+	FindDuplicates        = core.FindDuplicates
+	FindOverlaps          = core.FindOverlaps
+	FindStale             = core.FindStale
+	ConsolidateWhitelists = core.ConsolidateWhitelists
+	SplitConsolidated     = core.SplitConsolidated
+	ProposeRetarget       = core.ProposeRetarget
+)
+
+// --- Pattern language (internal/pattern) -----------------------------------
+
+type (
+	// Pattern is a compiled analyst rule pattern.
+	Pattern = pattern.Pattern
+	// SynMatch is one \syn-slot match with its context windows.
+	SynMatch = pattern.SynMatch
+)
+
+var (
+	// ParsePattern compiles the analyst pattern dialect (rings?,
+	// (motor | engine) oils?, diamond.*trio sets?, …).
+	ParsePattern = pattern.Parse
+	// MustParsePattern panics on error; for static patterns.
+	MustParsePattern = pattern.MustParse
+	// Subsumes reports provable pattern subsumption.
+	Subsumes = pattern.Subsumes
+)
+
+// --- Chimera pipeline (internal/chimera) -----------------------------------
+
+type (
+	// Pipeline is the Figure-2 classification system.
+	Pipeline = chimera.Pipeline
+	// PipelineConfig parameterizes it.
+	PipelineConfig = chimera.Config
+	// Decision is the pipeline's per-item output.
+	Decision = chimera.Decision
+	// BatchResult aggregates a processed batch.
+	BatchResult = chimera.BatchResult
+	// ImproveReport summarizes one evaluation/repair round.
+	ImproveReport = chimera.ImproveReport
+	// OnboardReport summarizes a §2.2 scale-up round over declined items.
+	OnboardReport = chimera.OnboardReport
+	// RestoreToken undoes a type scale-down.
+	RestoreToken = chimera.RestoreToken
+)
+
+// NewPipeline assembles a pipeline with the standard ensemble.
+var NewPipeline = chimera.New
+
+// --- Learning (internal/learn) ----------------------------------------------
+
+type (
+	// Classifier is the train/predict contract.
+	Classifier = learn.Classifier
+	// Prediction is one ranked class guess.
+	Prediction = learn.Prediction
+	// Ensemble combines classifiers by weighted vote.
+	Ensemble = learn.Ensemble
+)
+
+var (
+	NewNaiveBayes = learn.NewNaiveBayes
+	NewKNN        = learn.NewKNN
+	NewPerceptron = learn.NewPerceptron
+	NewEnsemble   = learn.NewEnsemble
+)
+
+// --- Tools (internal/synonym, internal/mining) ------------------------------
+
+type (
+	// SynonymTool is one §5.1 expansion session.
+	SynonymTool = synonym.Tool
+	// SynonymOptions configures it.
+	SynonymOptions = synonym.Options
+	// SynonymSessionStats summarizes a completed session.
+	SynonymSessionStats = synonym.SessionStats
+	// SynonymOracle answers accept/reject for candidates.
+	SynonymOracle = synonym.Oracle
+	// MiningOptions configures §5.2 rule generation.
+	MiningOptions = mining.Options
+	// MiningResult is its output.
+	MiningResult = mining.Result
+	// MiningCandidate is one generated rule with confidence and coverage.
+	MiningCandidate = mining.Candidate
+)
+
+var (
+	NewSynonymTool    = synonym.NewTool
+	RunSynonymSession = synonym.RunSession
+	GenerateRules     = mining.GenerateRules
+	FrequentSequences = mining.FrequentSequences
+	GreedySelect      = mining.Greedy
+	GreedyBiased      = mining.GreedyBiased
+)
+
+// --- Evaluation (internal/evaluate) -----------------------------------------
+
+type (
+	// RulePrecision is one rule's estimated precision.
+	RulePrecision = evaluate.RulePrecision
+	// PerRuleResult is the method-2 outcome.
+	PerRuleResult = evaluate.PerRuleResult
+	// ModuleResult is the method-3 outcome.
+	ModuleResult = evaluate.ModuleResult
+	// ImpactTracker alerts on impactful un-evaluated rules.
+	ImpactTracker = evaluate.ImpactTracker
+)
+
+var (
+	EvaluateWithValidationSet = evaluate.WithValidationSet
+	EvaluatePerRule           = evaluate.PerRule
+	EvaluateModule            = evaluate.Module
+	HeadTailSplit             = evaluate.HeadTailSplit
+	NewImpactTracker          = evaluate.NewImpactTracker
+	ValidateRule              = evaluate.ValidateRule
+)
+
+// --- Substrates (internal/catalog, internal/crowd, internal/randx) -----------
+
+type (
+	// Catalog generates the synthetic product feed.
+	Catalog = catalog.Catalog
+	// CatalogConfig parameterizes it.
+	CatalogConfig = catalog.Config
+	// Item is one product record (Figure 1).
+	Item = catalog.Item
+	// BatchSpec describes one incoming batch.
+	BatchSpec = catalog.BatchSpec
+	// TypeSpec is one product type's vocabulary.
+	TypeSpec = catalog.TypeSpec
+	// Crowd is the budgeted worker-pool simulator.
+	Crowd = crowd.Crowd
+	// CrowdConfig parameterizes it.
+	CrowdConfig = crowd.Config
+	// Analyst is a single high-accuracy oracle.
+	Analyst = crowd.Analyst
+	// Rand is the deterministic splittable RNG.
+	Rand = randx.Rand
+)
+
+var (
+	NewCatalog = catalog.New
+	NewCrowd   = crowd.New
+	NewAnalyst = crowd.NewAnalyst
+	NewRand    = randx.New
+)
+
+// --- §6 sister systems (internal/em, internal/ie, internal/kb, internal/social)
+
+type (
+	// EMRule is a conjunction of match predicates.
+	EMRule = em.Rule
+	// EMRuleSet is a disjunction of EM rules.
+	EMRuleSet = em.RuleSet
+	// EMPair is a labeled record pair.
+	EMPair = em.Pair
+	// EMMetrics scores a rule set on labeled pairs.
+	EMMetrics = em.Metrics
+	// IEExtractor bundles IE rules with normalizers.
+	IEExtractor = ie.Extractor
+	// IEExtraction is one extracted attribute value.
+	IEExtraction = ie.Extraction
+	// KB is a built knowledge base.
+	KB = kb.KB
+	// CurationLog is the replayable analyst-edit log.
+	CurationLog = kb.CurationLog
+	// CurationRule is one captured edit.
+	CurationRule = kb.CurationRule
+	// Tagger is the entity-mention pipeline.
+	Tagger = social.Tagger
+	// EventMonitor is the Tweetbeat-style display monitor.
+	EventMonitor = social.Monitor
+	// SocialEvent is one monitored event.
+	SocialEvent = social.Event
+)
+
+var (
+	NewEMRule         = em.NewRule
+	EMAttrEquals      = em.AttrEquals
+	EMQGramJaccard    = em.QGramJaccard
+	EMTokenJaccard    = em.TokenJaccard
+	EMNumericWithin   = em.NumericWithin
+	EvaluateEM        = em.Evaluate
+	GenerateEMPairs   = em.GeneratePairs
+	NewEMBlocker      = em.NewBlocker
+	EMMatchCorpus     = em.MatchCorpus
+	EMClusters        = em.Clusters
+	EMNot             = em.Not
+	EMPredicatePool   = em.DefaultPredicatePool
+	EMLabelPairs      = em.LabelPairs
+	EMInduceRules     = em.InduceRules
+	NewIEDictRule     = ie.NewDictRule
+	NewIERuleset      = ie.NewRuleset
+	NewIENormalizer   = ie.NewNormalizer
+	NewIETokenTagger  = ie.NewTokenTagger
+	EvaluateIE        = ie.EvaluateExtractor
+	BuildKB           = kb.Build
+	SyntheticKBSource = kb.SyntheticSource
+	NewTagger         = social.NewTagger
+	NewEventMonitor   = social.NewMonitor
+	NewTweetStream    = social.NewStream
+)

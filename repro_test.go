@@ -1,0 +1,201 @@
+package repro_test
+
+// Integration tests over the public facade: the end-to-end stories a
+// downstream adopter would script, exercised exactly the way examples/ and
+// cmd/ use the library.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeRuleLifecycle(t *testing.T) {
+	rb := repro.NewRulebase()
+	r, err := repro.NewWhitelist("wedding band", "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rb.Add(r, "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := repro.NewIndexedExecutor(rb.Active())
+	it := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "Platinaire Wedding Band"}}
+	if got := exec.Apply(it).FinalTypes(); len(got) != 1 || got[0] != "rings" {
+		t.Fatalf("facade execution broken: %v", got)
+	}
+	if err := rb.Disable(id, "ana", "drill"); err != nil {
+		t.Fatal(err)
+	}
+	exec = repro.NewIndexedExecutor(rb.Active())
+	if got := exec.Apply(it).FinalTypes(); len(got) != 0 {
+		t.Fatalf("disabled rule still fires: %v", got)
+	}
+}
+
+func TestFacadeGuardedRule(t *testing.T) {
+	r, err := repro.NewBlacklist("apple", "smart phones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WithGuards(repro.Guard{Attr: "Price", Op: "<", Value: "100"}); err != nil {
+		t.Fatal(err)
+	}
+	cheap := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "apple case", "Price": "9.99"}}
+	if !r.Matches(cheap) {
+		t.Fatal("guarded blacklist should fire on the cheap item")
+	}
+}
+
+func TestFacadeEndToEndPipeline(t *testing.T) {
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 3, NumTypes: 30})
+	p := repro.NewPipeline(repro.PipelineConfig{Seed: 3})
+	p.Train(cat.LabeledData(2000))
+	r, err := repro.NewWhitelist("rings?", "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(r, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	res := p.ProcessBatch(cat.GenerateBatch(repro.BatchSpec{Size: 600, Epoch: 0}))
+	prec, rec := res.TruePrecisionRecall()
+	if prec < 0.8 || rec < 0.4 {
+		t.Fatalf("pipeline quality implausible: p=%.3f r=%.3f", prec, rec)
+	}
+	if _, err := p.EvaluateAndImprove(res); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PrecisionHistory()) != 1 {
+		t.Fatal("history not recorded through the facade")
+	}
+}
+
+func TestFacadeMiningToRulebaseRoundTrip(t *testing.T) {
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 5, NumTypes: 20})
+	res, err := repro.GenerateRules(cat.LabeledData(1500), repro.MiningOptions{MinSupport: 0.05, MaxRulesPerType: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.High) == 0 {
+		t.Fatal("nothing mined")
+	}
+	rb := repro.NewRulebase()
+	for _, r := range res.Selected() {
+		if _, err := rb.Add(r, "rulegen"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serialize, reload, and verify the rules still execute identically.
+	data, err := json.Marshal(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := repro.NewRulebase()
+	if err := json.Unmarshal(data, reloaded); err != nil {
+		t.Fatal(err)
+	}
+	a := repro.NewIndexedExecutor(rb.Active())
+	b := repro.NewIndexedExecutor(reloaded.Active())
+	for _, it := range cat.GenerateBatch(repro.BatchSpec{Size: 300, Epoch: 0}) {
+		av, bv := a.Apply(it).FinalTypes(), b.Apply(it).FinalTypes()
+		if strings.Join(av, "|") != strings.Join(bv, "|") {
+			t.Fatalf("serialization changed semantics: %v vs %v", av, bv)
+		}
+	}
+}
+
+func TestFacadeSynonymToolFlow(t *testing.T) {
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 7, NumTypes: 40})
+	items := cat.GenerateBatch(repro.BatchSpec{Size: 3000, Epoch: 1})
+	titles := make([][]string, len(items))
+	for i, it := range items {
+		titles[i] = it.TitleTokens()
+	}
+	pat := repro.MustParsePattern(`(area | \syn) rugs?`)
+	tool, err := repro.NewSynonymTool(pat, titles, repro.SynonymOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := repro.RunSynonymSession(tool, func(ph []string) bool {
+		return strings.Join(ph, " ") == "oriental" || strings.Join(ph, " ") == "braided"
+	}, 6, 2)
+	if stats.Iterations == 0 {
+		t.Fatal("session never iterated")
+	}
+	expanded := tool.ExpandedPattern()
+	if expanded.HasSyn() {
+		t.Fatal("expansion incomplete")
+	}
+	// Whatever was accepted must now be deployable as a rule.
+	if _, err := repro.NewWhitelist(expanded.String(), "area rugs"); err != nil {
+		t.Fatalf("expanded pattern not deployable: %v", err)
+	}
+}
+
+func TestFacadeMaintenance(t *testing.T) {
+	rb := repro.NewRulebase()
+	add := func(src string) {
+		r, err := repro.NewWhitelist(src, "jeans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rb.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("jeans?")
+	add("denim.*jeans?")
+	pairs := repro.FindSubsumed(rb.Active())
+	if len(pairs) != 1 {
+		t.Fatalf("facade subsumption broken: %v", pairs)
+	}
+}
+
+func TestFacadeSisterSystems(t *testing.T) {
+	// KB + tagging.
+	base := repro.BuildKB(repro.SyntheticKBSource(1, 0))
+	tagger := repro.NewTagger(base)
+	if ms := tagger.Mentions("breaking news obama arrives in melbourne"); len(ms) != 2 {
+		t.Fatalf("tagging broken: %v", ms)
+	}
+	// EM.
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 9, NumTypes: 20})
+	pairs := repro.GenerateEMPairs(cat, repro.NewRand(10), 50, 50)
+	rs := &repro.EMRuleSet{Rules: []*repro.EMRule{
+		repro.NewEMRule("t", repro.EMQGramJaccard("Title", 3, 0.8)),
+	}}
+	m := repro.EvaluateEM(rs, pairs)
+	if m.Precision == 0 && m.Recall == 0 {
+		t.Fatal("EM evaluation degenerate")
+	}
+	// IE.
+	x := &repro.IEExtractor{Rules: repro.NewIERuleset(
+		repro.NewIEDictRule("d", "Brand Name", []string{"apex"}, 0))}
+	it := &repro.Item{ID: "1", Attrs: map[string]string{"Title": "apex laptop"}}
+	if es := x.Extract(it); len(es) != 1 || es[0].Value != "apex" {
+		t.Fatalf("IE facade broken: %v", es)
+	}
+}
+
+func TestFacadeOrderIndependence(t *testing.T) {
+	cat := repro.NewCatalog(repro.CatalogConfig{Seed: 11, NumTypes: 20})
+	rb := repro.NewRulebase()
+	for _, src := range []string{"rings?", "jeans?", "laptops?"} {
+		r, err := repro.NewWhitelist(src, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rb.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := cat.GenerateBatch(repro.BatchSpec{Size: 100, Epoch: 0})
+	rep := repro.CheckOrderIndependence(rb.Active(), items, repro.NewRand(12), 10)
+	if !rep.Holds {
+		t.Fatalf("order independence should hold: %s", rep.Witness)
+	}
+}
