@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/learn"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/synonym"
 	"repro/internal/tokenize"
@@ -256,6 +257,19 @@ func BenchmarkRuleIndexLookup(b *testing.B) {
 func BenchmarkIndexedExecutorApply(b *testing.B) {
 	rules := benchRules(b)
 	ex := core.NewIndexedExecutor(rules)
+	items := benchItems(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Apply(items[i%len(items)])
+	}
+}
+
+// BenchmarkInstrumentedExecutorApply measures the telemetry decorator against
+// BenchmarkIndexedExecutorApply on the same rulebase and items; the ratio of
+// the two ns/op figures is the observability overhead (budget: <5%).
+func BenchmarkInstrumentedExecutorApply(b *testing.B) {
+	rules := benchRules(b)
+	ex := core.NewInstrumentedExecutor(core.NewIndexedExecutor(rules), obs.NewRegistry())
 	items := benchItems(256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +27,15 @@ func main() {
 		trainSize = flag.Int("train", 10000, "bootstrap training items")
 		batches   = flag.Int("batches", 5, "number of incoming batches")
 		batchSize = flag.Int("batch-size", 2000, "items per batch")
+		metrics   = flag.String("metrics", "", `dump the metric snapshot after the run: "json" or "prom"`)
+		profile   = flag.Bool("profile", false, "print the per-batch stage timing tree after the run")
+		health    = flag.Int("health", 0, "print the top-N telemetry-ranked rule-health entries after the run")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
+		fmt.Fprintf(os.Stderr, "-metrics must be \"json\" or \"prom\", got %q\n", *metrics)
+		os.Exit(2)
+	}
 
 	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types, ZipfS: 1.3})
 	p := repro.NewPipeline(repro.PipelineConfig{Seed: *seed})
@@ -74,6 +82,36 @@ func main() {
 	}
 	fmt.Printf("\nfinal state: %s\n", p.Describe())
 	fmt.Printf("precision history: %v\n", p.PrecisionHistory())
+
+	if *profile {
+		fmt.Printf("\n== per-batch stage timings ==\n%s", p.Trace.Render())
+	}
+	if *health > 0 {
+		report := p.RuleHealth(0.92)
+		if len(report) > *health {
+			report = report[:*health]
+		}
+		fmt.Printf("\n== rule health (unhealthiest first) ==\n")
+		fmt.Printf("%-10s %-14s %8s %10s %6s  %s\n", "rule", "kind", "fired", "effective", "conf", "issues")
+		for _, h := range report {
+			fmt.Printf("%-10s %-14s %8d %10d %6.2f  %v\n",
+				h.RuleID, h.Kind, h.Fired, h.Effective, h.Confidence, h.Issues)
+		}
+	}
+	if *metrics != "" {
+		snap := p.Obs.Snapshot()
+		fmt.Printf("\n== metrics ==\n")
+		if *metrics == "prom" {
+			fmt.Print(snap.PrometheusText())
+		} else {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshaling metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		}
+	}
 }
 
 func flaggedDecisions(res *repro.BatchResult) []repro.Decision {

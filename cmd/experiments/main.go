@@ -9,23 +9,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		all  = flag.Bool("all", false, "run all experiments E1–E11")
-		run  = flag.String("run", "", "run a single experiment by ID (e.g. E3)")
-		list = flag.Bool("list", false, "list experiment IDs and titles")
-		seed = flag.Uint64("seed", 42, "deterministic seed")
-		out  = flag.String("o", "", "also write the markdown report to this file")
+		all     = flag.Bool("all", false, "run all experiments E1–E11")
+		run     = flag.String("run", "", "run a single experiment by ID (e.g. E3)")
+		list    = flag.Bool("list", false, "list experiment IDs and titles")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		out     = flag.String("o", "", "also write the markdown report to this file")
+		metrics = flag.String("metrics", "", `dump the process metric snapshot after the run: "json" or "prom"`)
+		profile = flag.Bool("profile", false, "print the per-experiment timing tree after the run")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
+		fmt.Fprintf(os.Stderr, "-metrics must be \"json\" or \"prom\", got %q\n", *metrics)
+		os.Exit(2)
+	}
+	tracer := obs.NewTracer()
 
 	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	if *list {
@@ -41,12 +50,16 @@ func main() {
 		for _, id := range ids {
 			start := time.Now()
 			fmt.Fprintf(os.Stderr, "running %s…", id)
+			sp := tracer.Start(id)
 			rep := experiments.ByID(id, *seed)
+			sp.End()
 			fmt.Fprintf(os.Stderr, " done in %v (shape ok: %v)\n", time.Since(start).Round(time.Millisecond), rep.ShapeOK)
 			reports = append(reports, rep)
 		}
 	case *run != "":
+		sp := tracer.Start(*run)
 		rep := experiments.ByID(*run, *seed)
+		sp.End()
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
 			os.Exit(2)
@@ -65,5 +78,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *profile {
+		fmt.Fprintf(os.Stderr, "\n== experiment timings ==\n%s", tracer.Render())
+	}
+	if *metrics != "" {
+		// Experiments run their pipelines against the process-wide default
+		// registry; the snapshot is the aggregate over everything that ran.
+		snap := obs.Default().Snapshot()
+		fmt.Fprintf(os.Stderr, "\n== metrics ==\n")
+		if *metrics == "prom" {
+			fmt.Fprint(os.Stderr, snap.PrometheusText())
+		} else {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshaling metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, string(data))
+		}
 	}
 }

@@ -69,6 +69,13 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 	p.history = append(p.history, rep.EstPrecision)
 	p.mu.Unlock()
 
+	p.Obs.Counter(MetricCrowdSampled).Add(int64(rep.SampleSize))
+	p.Obs.Counter(MetricFlagged).Add(int64(rep.Flagged))
+	p.Obs.Gauge(MetricEstPrecision).Set(rep.EstPrecision)
+	if !rep.PassedGate {
+		p.Obs.Counter(MetricGateFailures).Inc()
+	}
+
 	// Analysis box: relabel flagged pairs and patch recurring patterns.
 	var relabeled []*catalog.Item
 	types := p.typeUniverse()
@@ -83,6 +90,8 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 	rep.Relabeled = len(relabeled)
 
 	rep.NewRuleIDs = p.patchRules(flagged)
+	p.Obs.Counter(MetricPatchRules).Add(int64(len(rep.NewRuleIDs)))
+	p.Obs.Counter(MetricRelabeled).Add(int64(rep.Relabeled))
 	if len(relabeled) > 0 {
 		p.Train(relabeled)
 	}

@@ -8,15 +8,37 @@
 package chimera
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/evaluate"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/randx"
+)
+
+// Metric families recorded by the pipeline (beyond the core_exec_* and
+// core_rule_* series its instrumented executors emit).
+const (
+	MetricBatches      = "chimera_batches_total"
+	MetricItems        = "chimera_items_total"
+	MetricDeclined     = "chimera_declined_total"
+	MetricDecisions    = "chimera_decisions_total" // labeled stage=...
+	MetricClassifySecs = "chimera_classify_seconds"
+	MetricBatchSecs    = "chimera_batch_seconds"
+	MetricQueueDepth   = "chimera_manual_queue_depth"
+	MetricCrowdSampled = "chimera_crowd_sampled_total"
+	MetricFlagged      = "chimera_flagged_total"
+	MetricEstPrecision = "chimera_est_precision"
+	MetricGateFailures = "chimera_gate_failures_total"
+	MetricPatchRules   = "chimera_patch_rules_total"
+	MetricRelabeled    = "chimera_relabeled_total"
 )
 
 // Config parameterizes the pipeline. Zero values take the paper's settings.
@@ -39,6 +61,9 @@ type Config struct {
 	MinPatternSupport int
 	// ImpactThreshold feeds the §5.3 impactful-rule tracker (default 200).
 	ImpactThreshold int
+	// Obs receives the pipeline's metrics (default obs.Default(), the
+	// process-wide registry the CLIs dump with -metrics).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ImpactThreshold == 0 {
 		c.ImpactThreshold = 200
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
 	}
 	return c
 }
@@ -90,6 +118,41 @@ type BatchResult struct {
 	EstPrecision float64
 	// Accepted is set when the batch passed the precision gate.
 	Accepted bool
+	// Profile is the batch's telemetry profile (filled by ProcessBatch).
+	Profile *BatchProfile
+}
+
+// BatchProfile is the per-batch operational profile: where the time went
+// and where the items went — the numbers an operator watches per batch
+// while the obs registry accumulates the long-run series.
+type BatchProfile struct {
+	// Items and Declined count the batch's inputs and manual-routed items.
+	Items    int `json:"items"`
+	Declined int `json:"declined"`
+	// DeclineRate is Declined/Items.
+	DeclineRate float64 `json:"decline_rate"`
+	// Duration is the wall-clock classification time for the whole batch;
+	// ItemsPerSec is the derived throughput.
+	Duration    time.Duration `json:"duration_ns"`
+	ItemsPerSec float64       `json:"items_per_sec"`
+	// QueueDepth is the manual-classification queue size after this batch.
+	QueueDepth int `json:"queue_depth"`
+	// Stages counts decisions per deciding stage ("gatekeeper", "rules",
+	// "ensemble", "combined") and per decline family ("declined:no-votes",
+	// "declined:ambiguous", "declined:low-confidence", "declined:filtered").
+	Stages map[string]int `json:"stages"`
+}
+
+// stageOf normalizes a decision into its profile/metrics stage label.
+func stageOf(d Decision) string {
+	if !d.Declined {
+		return d.Reason
+	}
+	reason := d.Reason
+	if i := strings.IndexByte(reason, ':'); i >= 0 {
+		reason = reason[:i]
+	}
+	return "declined:" + reason
 }
 
 // Classified returns the emitted decisions.
@@ -148,14 +211,20 @@ type Pipeline struct {
 	Crowd    *crowd.Crowd
 	Analyst  *crowd.Analyst
 	Tracker  *evaluate.ImpactTracker
+	// Obs is the pipeline's metric registry; Trace holds one span tree per
+	// processed batch (rendered by the CLIs with -profile).
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 
 	mu       sync.Mutex
 	training []*catalog.Item
 	gateExec core.Executor
 	ruleExec core.Executor
+	ruleInst *core.InstrumentedExecutor // same executor as ruleExec
 	execVer  uint64
 	history  []float64 // per-batch estimated precision
 	manualQ  int       // items routed to manual classification
+	batches  int       // processed batches (names the per-batch spans)
 }
 
 // New assembles a pipeline with the standard ensemble (Naive Bayes, kNN,
@@ -169,7 +238,7 @@ func New(cfg Config) *Pipeline {
 	if err != nil {
 		panic("chimera: ensemble construction cannot fail: " + err.Error())
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:      cfg,
 		rng:      rng,
 		Rules:    core.NewRulebase(),
@@ -177,7 +246,13 @@ func New(cfg Config) *Pipeline {
 		Crowd:    crowd.New(crowd.Config{Seed: cfg.Seed + 1}),
 		Analyst:  crowd.NewAnalyst("ana", cfg.Seed+2, 0),
 		Tracker:  evaluate.NewImpactTracker(cfg.ImpactThreshold),
+		Obs:      cfg.Obs,
+		Trace:    obs.NewTracer(),
 	}
+	p.Rules.Instrument(p.Obs)
+	p.Obs.Help(MetricDecisions, "decisions per deciding stage / decline family")
+	p.Obs.Help(MetricQueueDepth, "items awaiting manual classification")
+	return p
 }
 
 // Train sets (or extends) the training data and trains the ensemble.
@@ -205,17 +280,38 @@ func (p *Pipeline) ManualQueue() int {
 }
 
 // refreshExecutors rebuilds the rule executors when the rulebase changed.
+// Both stages run instrumented: the decorator is verdict-transparent and
+// its per-rule counters are stable across rebuilds (same registry series),
+// so telemetry accumulates over rulebase versions.
 func (p *Pipeline) refreshExecutors() (gate, rules core.Executor) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if v := p.Rules.Version(); p.gateExec == nil || v != p.execVer {
-		p.gateExec = core.NewIndexedExecutor(p.Rules.Active(core.Gate))
-		p.ruleExec = core.NewIndexedExecutor(p.Rules.Active(
-			core.Whitelist, core.Blacklist, core.AttrExists, core.AttrValue,
-			core.TypeRestrict))
+		p.gateExec = core.NewInstrumentedExecutor(
+			core.NewIndexedExecutor(p.Rules.Active(core.Gate)), p.Obs,
+			"exec", "gate")
+		p.ruleInst = core.NewInstrumentedExecutor(
+			core.NewIndexedExecutor(p.Rules.Active(
+				core.Whitelist, core.Blacklist, core.AttrExists, core.AttrValue,
+				core.TypeRestrict)), p.Obs,
+			"exec", "rules")
+		p.ruleExec = p.ruleInst
 		p.execVer = v
 	}
 	return p.gateExec, p.ruleExec
+}
+
+// RuleHealth returns the telemetry-ranked health report for the classifier
+// rule executor (see core.InstrumentedExecutor.Health); minConfidence is
+// the low-precision floor, typically the business gate. Nil until a batch
+// has been processed. The report feeds core.PlanHealthActions /
+// Rulebase.ApplyHealthActions — the §4 loop from telemetry to maintenance.
+func (p *Pipeline) RuleHealth(minConfidence float64) []core.RuleHealth {
+	p.refreshExecutors()
+	p.mu.Lock()
+	inst := p.ruleInst
+	p.mu.Unlock()
+	return inst.Health(minConfidence)
 }
 
 // activeFilters returns the set of types killed by active Filter rules.
@@ -326,18 +422,37 @@ func ruleIDs(rules []*core.Rule) []string {
 }
 
 // ProcessBatch classifies a batch in parallel and updates the impact
-// tracker and manual-queue accounting.
+// tracker and manual-queue accounting. Each batch leaves a span tree in
+// p.Trace (prepare → classify → accounting), a BatchProfile on the result,
+// and its per-item/per-stage series in p.Obs.
 func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
+	p.mu.Lock()
+	batchNo := p.batches
+	p.batches++
+	p.mu.Unlock()
+	span := p.Trace.Start(fmt.Sprintf("batch-%d", batchNo))
+	defer span.End()
+
+	prep := span.Child("prepare")
 	gateExec, ruleExec := p.refreshExecutors()
 	filters := p.activeFilters()
+	prep.End()
 	res := &BatchResult{Decisions: make([]Decision, len(items))}
 
 	workers := p.cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	if workers > len(items) {
+		workers = len(items) // no point spawning more goroutines than items
+	}
+	classify := span.Child("classify")
+	latency := p.Obs.Histogram(MetricClassifySecs, obs.LatencyBuckets)
 	var wg sync.WaitGroup
-	chunk := (len(items) + workers - 1) / workers
+	chunk := 0
+	if workers > 0 {
+		chunk = (len(items) + workers - 1) / workers
+	}
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= len(items) {
@@ -351,30 +466,53 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				start := time.Now()
 				res.Decisions[i] = p.classifyWith(items[i], gateExec, ruleExec, filters)
+				latency.Observe(time.Since(start).Seconds())
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	elapsed := classify.End()
 
-	// Impact tracking and manual-queue accounting.
-	declined := 0
+	// Impact tracking, manual-queue accounting, and the batch profile.
+	acct := span.Child("accounting")
+	profile := &BatchProfile{Items: len(items), Duration: elapsed, Stages: map[string]int{}}
 	touches := map[string]int{}
 	for _, d := range res.Decisions {
+		profile.Stages[stageOf(d)]++
 		if d.Declined {
-			declined++
+			profile.Declined++
 			continue
 		}
 		for _, id := range d.Evidence {
 			touches[id]++
 		}
 	}
+	if profile.Items > 0 {
+		profile.DeclineRate = float64(profile.Declined) / float64(profile.Items)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		profile.ItemsPerSec = float64(profile.Items) / secs
+	}
 	p.mu.Lock()
-	p.manualQ += declined
+	p.manualQ += profile.Declined
+	profile.QueueDepth = p.manualQ
 	p.mu.Unlock()
 	for id, n := range touches {
 		p.Tracker.Observe(id, n)
 	}
+	res.Profile = profile
+
+	p.Obs.Counter(MetricBatches).Inc()
+	p.Obs.Counter(MetricItems).Add(int64(profile.Items))
+	p.Obs.Counter(MetricDeclined).Add(int64(profile.Declined))
+	for stage, n := range profile.Stages {
+		p.Obs.Counter(MetricDecisions, "stage", stage).Add(int64(n))
+	}
+	p.Obs.Histogram(MetricBatchSecs, obs.LatencyBuckets).Observe(elapsed.Seconds())
+	p.Obs.Gauge(MetricQueueDepth).Set(float64(profile.QueueDepth))
+	acct.End()
 	return res
 }
 

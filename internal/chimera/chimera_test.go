@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // fixture builds a catalog, a trained pipeline with a starter rulebase, and
@@ -478,5 +479,175 @@ func TestRecallImprovesOverRounds(t *testing.T) {
 	}
 	if recalls[len(recalls)-1] <= recalls[0] {
 		t.Fatalf("recall did not improve across rounds: %v", recalls)
+	}
+}
+
+// telemetryFixture is fixture with a private metric registry, so assertions
+// are not polluted by other tests sharing obs.Default().
+func telemetryFixture(t *testing.T, seed uint64) (*catalog.Catalog, *Pipeline) {
+	t.Helper()
+	cat := catalog.New(catalog.Config{Seed: seed, NumTypes: 40})
+	p := New(Config{Seed: seed, Obs: obs.NewRegistry()})
+	p.Train(cat.LabeledData(4000))
+	add := func(r *core.Rule, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Rules.Add(r, "ana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(core.NewWhitelist("rings?", "rings"))
+	add(core.NewWhitelist("jeans?", "jeans"))
+	add(core.NewWhitelist("(motor | engine) oils?", "motor oil"))
+	add(core.NewBlacklist("olive oils?", "motor oil"))
+	add(core.NewGate("(satchel | purse | tote)", "handbags"))
+	return cat, p
+}
+
+func TestProcessBatchProfileAndMetrics(t *testing.T) {
+	cat, p := telemetryFixture(t, 91)
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 400, Epoch: 0})
+	res := p.ProcessBatch(batch)
+
+	prof := res.Profile
+	if prof == nil {
+		t.Fatal("ProcessBatch must attach a profile")
+	}
+	if prof.Items != 400 || prof.Duration <= 0 || prof.ItemsPerSec <= 0 {
+		t.Fatalf("profile basics wrong: %+v", prof)
+	}
+	total := 0
+	for _, n := range prof.Stages {
+		total += n
+	}
+	if total != prof.Items {
+		t.Fatalf("stage counts sum to %d, want %d (%v)", total, prof.Items, prof.Stages)
+	}
+	if prof.DeclineRate != res.DeclineRate() {
+		t.Fatalf("profile decline rate %v != result %v", prof.DeclineRate, res.DeclineRate())
+	}
+	if prof.QueueDepth != p.ManualQueue() {
+		t.Fatalf("queue depth %d != manual queue %d", prof.QueueDepth, p.ManualQueue())
+	}
+
+	// Registry series agree with the profile.
+	if got := p.Obs.Counter(MetricItems).Value(); got != 400 {
+		t.Fatalf("items counter = %d", got)
+	}
+	if got := p.Obs.Counter(MetricDeclined).Value(); got != int64(prof.Declined) {
+		t.Fatalf("declined counter = %d, want %d", got, prof.Declined)
+	}
+	if got := p.Obs.Histogram(MetricClassifySecs, nil).Count(); got != 400 {
+		t.Fatalf("classify latency observations = %d", got)
+	}
+	if got := p.Obs.Gauge(MetricQueueDepth).Value(); got != float64(prof.QueueDepth) {
+		t.Fatalf("queue gauge = %v", got)
+	}
+	var stageSum int64
+	for _, c := range p.Obs.Snapshot().Counters {
+		if c.Name == MetricDecisions {
+			stageSum += c.Value
+		}
+	}
+	if stageSum != 400 {
+		t.Fatalf("decision stage counters sum to %d", stageSum)
+	}
+
+	// Executor-level series exist for both stages.
+	if p.Obs.Counter(core.MetricExecApplies, "exec", "gate").Value() != 400 {
+		t.Fatal("gate executor applies not recorded")
+	}
+	// The rule stage only sees items the gate keeper passed on.
+	ruleApplies := p.Obs.Counter(core.MetricExecApplies, "exec", "rules").Value()
+	if ruleApplies <= 0 || ruleApplies > 400 {
+		t.Fatalf("rule executor applies = %d", ruleApplies)
+	}
+
+	// The batch left a span tree: batch-0 → prepare/classify/accounting.
+	roots := p.Trace.Roots()
+	if len(roots) != 1 || roots[0].Name() != "batch-0" {
+		t.Fatalf("trace roots = %v", roots)
+	}
+	names := map[string]bool{}
+	for _, c := range roots[0].Children() {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"prepare", "classify", "accounting"} {
+		if !names[want] {
+			t.Fatalf("missing %q span in %v", want, names)
+		}
+	}
+	if out := p.Trace.Render(); !strings.Contains(out, "classify") {
+		t.Fatalf("render missing classify:\n%s", out)
+	}
+}
+
+func TestEvaluateAndImproveMetrics(t *testing.T) {
+	cat, p := telemetryFixture(t, 92)
+	res := p.ProcessBatch(cat.GenerateBatch(catalog.BatchSpec{Size: 500, Epoch: 0}))
+	rep, err := p.EvaluateAndImprove(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Obs.Counter(MetricCrowdSampled).Value(); got != int64(rep.SampleSize) {
+		t.Fatalf("crowd sampled counter = %d, want %d", got, rep.SampleSize)
+	}
+	if got := p.Obs.Counter(MetricFlagged).Value(); got != int64(rep.Flagged) {
+		t.Fatalf("flagged counter = %d, want %d", got, rep.Flagged)
+	}
+	if got := p.Obs.Gauge(MetricEstPrecision).Value(); got != rep.EstPrecision {
+		t.Fatalf("precision gauge = %v, want %v", got, rep.EstPrecision)
+	}
+	// Rulebase mutations (seed adds + any patch rules) were counted.
+	if got := p.Obs.Counter(core.MetricRulebaseMutations, "action", "add").Value(); got < 5 {
+		t.Fatalf("rulebase add counter = %d, want >= 5 seed rules", got)
+	}
+}
+
+func TestPipelineRuleHealthFeedsMaintenance(t *testing.T) {
+	cat, p := telemetryFixture(t, 93)
+	// A rule that can never fire on this catalog.
+	dead, err := core.NewWhitelist("unobtainium widgets?", "widgets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rules.Add(dead, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	if p.RuleHealth(0) != nil {
+		t.Fatal("health must be nil before any batch")
+	}
+	p.ProcessBatch(cat.GenerateBatch(catalog.BatchSpec{Size: 600, Epoch: 0}))
+
+	health := p.RuleHealth(0.92)
+	if len(health) == 0 {
+		t.Fatal("health report empty after a batch")
+	}
+	var deadHealth *core.RuleHealth
+	for i := range health {
+		if health[i].RuleID == dead.ID {
+			deadHealth = &health[i]
+		}
+	}
+	if deadHealth == nil || len(deadHealth.Issues) == 0 || deadHealth.Issues[0] != core.HealthNeverFired {
+		t.Fatalf("dead rule not flagged: %+v", deadHealth)
+	}
+
+	// Close the loop: plan from telemetry, apply to the rulebase.
+	actions := core.PlanHealthActions(health, 600, 100)
+	disabled := p.Rules.ApplyHealthActions(actions, "maint")
+	found := false
+	for _, id := range disabled {
+		if id == dead.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead rule not disabled by telemetry loop: %v", disabled)
+	}
+	if p.Rules.Get(dead.ID).Status != core.Disabled {
+		t.Fatal("rulebase status unchanged")
 	}
 }

@@ -170,11 +170,17 @@ func (e *IndexedExecutor) Apply(it *catalog.Item) *Verdict {
 	return v
 }
 
+// Index exposes the underlying rule index (for instrumentation and stats).
+func (e *IndexedExecutor) Index() *RuleIndex { return e.idx }
+
 // ExecuteBatch applies exec to every item using workers goroutines — the
 // shared-nothing "cluster" substitute for the paper's Hadoop execution.
 // Results are positionally aligned with items. workers <= 1 runs inline.
 func ExecuteBatch(exec Executor, items []*catalog.Item, workers int) []*Verdict {
 	out := make([]*Verdict, len(items))
+	if workers > len(items) {
+		workers = len(items) // no point spawning more goroutines than items
+	}
 	if workers <= 1 {
 		for i, it := range items {
 			out[i] = exec.Apply(it)

@@ -127,6 +127,66 @@ func TestExplainMentionsRules(t *testing.T) {
 	}
 }
 
+// TestExplainAssertedOnly: a clean single-assertion verdict lists the type
+// with its supporting rules and nothing else.
+func TestExplainAssertedOnly(t *testing.T) {
+	w := mustRule(NewWhitelist("rings?", "rings"))
+	w.ID = "W1"
+	v := NewSequentialExecutor([]*Rule{w}).Apply(item("diamond ring", nil))
+	s := v.Explain()
+	if !contains(s, "type rings because:") || !contains(s, "+ [W1") {
+		t.Fatalf("asserted-only explanation wrong: %q", s)
+	}
+	if contains(s, "vetoed by") || contains(s, "no type survives") {
+		t.Fatalf("asserted-only explanation has spurious sections: %q", s)
+	}
+}
+
+// TestExplainVetoedWithAssertion: when a whitelist assertion is overridden
+// by a blacklist, the explanation names both sides — the analyst sees why
+// the type was asserted AND why it did not survive.
+func TestExplainVetoedWithAssertion(t *testing.T) {
+	w := mustRule(NewWhitelist("oils?", "motor oil"))
+	w.ID = "W1"
+	b := mustRule(NewBlacklist("olive oils?", "motor oil"))
+	b.ID = "B1"
+	v := NewSequentialExecutor([]*Rule{w, b}).Apply(item("extra virgin olive oil", nil))
+	s := v.Explain()
+	if !contains(s, "no type survives") {
+		t.Fatalf("vetoed verdict should say nothing survives: %q", s)
+	}
+	if !contains(s, "type motor oil vetoed by:") || !contains(s, "- [B1") {
+		t.Fatalf("veto section missing: %q", s)
+	}
+	// Veto sections only appear for types that were actually asserted:
+	// a lone veto with no assertion stays silent.
+	v2 := NewSequentialExecutor([]*Rule{b}).Apply(item("extra virgin olive oil", nil))
+	if s2 := v2.Explain(); contains(s2, "vetoed by") {
+		t.Fatalf("unasserted veto should not be explained: %q", s2)
+	}
+}
+
+// TestExplainContradictoryAllowed: contradictory AttrValue constraints empty
+// the Allowed set, so even an asserted type yields "no type survives".
+func TestExplainContradictoryAllowed(t *testing.T) {
+	a := mustRule(NewAttrValue("Brand Name", "apex", []string{"laptop computers"}))
+	b := mustRule(NewAttrValue("Carrier", "unlocked", []string{"smart phones"}))
+	w := mustRule(NewWhitelist("laptops?", "laptop computers"))
+	w.ID = "W1"
+	v := NewSequentialExecutor([]*Rule{a, b, w}).Apply(
+		item("apex laptop", map[string]string{"Brand Name": "apex", "Carrier": "unlocked"}))
+	if v.Allowed == nil || len(v.Allowed) != 0 {
+		t.Fatalf("constraints should contradict: %v", v.Allowed)
+	}
+	s := v.Explain()
+	if !contains(s, "no type survives") {
+		t.Fatalf("contradictory constraints should leave no survivor: %q", s)
+	}
+	if contains(s, "type laptop computers because:") {
+		t.Fatalf("suppressed type must not be explained as surviving: %q", s)
+	}
+}
+
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
 }

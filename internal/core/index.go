@@ -22,6 +22,7 @@ type RuleIndex struct {
 	byToken map[string][]*Rule
 	byAttr  map[string][]*Rule
 	always  []*Rule
+	rules   []*Rule // indexed rules in input order (Filter rules excluded)
 	nRules  int
 }
 
@@ -56,10 +57,15 @@ func NewRuleIndexWithDF(rules []*Rule, df map[string]int) *RuleIndex {
 		default:
 			continue // Filter rules act on predictions, not items
 		}
+		idx.rules = append(idx.rules, r)
 		idx.nRules++
 	}
 	return idx
 }
+
+// Rules returns the indexed rules in input order (Filter rules excluded).
+// The returned slice is shared; callers must not mutate it.
+func (idx *RuleIndex) Rules() []*Rule { return idx.rules }
 
 // chooseKeys picks a pattern rule's posting keys: without df, the smallest
 // witness set; with df, the witness set with the lowest total corpus

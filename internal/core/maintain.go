@@ -313,6 +313,70 @@ func SplitConsolidated(r *Rule) []string {
 	return strings.Split(strings.TrimPrefix(r.Note, prefix), ",")
 }
 
+// HealthAction is one maintenance recommendation derived from runtime
+// telemetry rather than static analysis — the piece of §4's agenda the
+// static checks above cannot cover: a rule can be syntactically healthy yet
+// dead in production.
+type HealthAction struct {
+	RuleID string
+	// Action is "disable" (reversible scale-down) or "review" (needs an
+	// analyst decision before touching the rule).
+	Action string
+	Reason string
+}
+
+// PlanHealthActions turns a telemetry-ranked RuleHealth report (see
+// InstrumentedExecutor.Health) into concrete maintenance actions:
+//
+//   - never-fired rules observed over at least minFired total applies are
+//     disable candidates (dead weight; re-enable is cheap if the corpus
+//     shifts back);
+//   - always-vetoed rules are disable candidates (every match was overridden
+//     by a blacklist or constraint, so they only burn evaluation time);
+//   - low-precision rules are flagged for analyst review — disabling them
+//     automatically could silently drop recall the business depends on.
+//
+// minFired guards against acting on a cold executor: a rule that "never
+// fired" across ten items is no signal at all.
+func PlanHealthActions(health []RuleHealth, totalApplies, minApplies int64) []HealthAction {
+	if totalApplies < minApplies {
+		return nil
+	}
+	var out []HealthAction
+	for _, h := range health {
+		for _, issue := range h.Issues {
+			switch issue {
+			case HealthNeverFired:
+				out = append(out, HealthAction{h.RuleID, "disable",
+					fmt.Sprintf("matched nothing in %d applies", totalApplies)})
+			case HealthAlwaysVetoed:
+				out = append(out, HealthAction{h.RuleID, "disable",
+					fmt.Sprintf("all %d matches were vetoed or constrained away", h.Fired)})
+			case HealthLowPrecision:
+				out = append(out, HealthAction{h.RuleID, "review",
+					fmt.Sprintf("precision estimate %.3f below floor", h.Confidence)})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyHealthActions executes the "disable" actions against the rulebase
+// (audit-logged with the telemetry reason) and returns the affected rule
+// IDs. "review" actions are left to the analyst and skipped.
+func (rb *Rulebase) ApplyHealthActions(actions []HealthAction, actor string) []string {
+	var out []string
+	for _, a := range actions {
+		if a.Action != "disable" {
+			continue
+		}
+		if err := rb.Disable(a.RuleID, actor, "telemetry: "+a.Reason); err == nil {
+			out = append(out, a.RuleID)
+		}
+	}
+	return out
+}
+
 // groupPatternRules groups active pattern rules by (kind, target).
 // TypeRestrict rules are excluded: they are constraints, so pattern
 // generality inverts their semantics and the subsumption/overlap analyses

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // AuditEntry records one management action on the rulebase. The audit log is
@@ -29,6 +31,26 @@ type Rulebase struct {
 	version uint64
 	nextID  int
 	audit   []AuditEntry
+	obs     *obs.Registry // nil = uninstrumented
+}
+
+// MetricRulebaseMutations counts rulebase mutations by action label
+// (add / disable / enable / retire / update).
+const MetricRulebaseMutations = "core_rulebase_mutations_total"
+
+// Instrument attaches an observability registry; every subsequent mutation
+// increments MetricRulebaseMutations{action=...}. Pass nil to detach.
+func (rb *Rulebase) Instrument(reg *obs.Registry) {
+	rb.mu.Lock()
+	rb.obs = reg
+	rb.mu.Unlock()
+}
+
+// countMutation records one mutation; callers hold rb.mu.
+func (rb *Rulebase) countMutation(action string) {
+	if rb.obs != nil {
+		rb.obs.Counter(MetricRulebaseMutations, "action", action).Inc()
+	}
 }
 
 // NewRulebase returns an empty rulebase.
@@ -75,6 +97,7 @@ func (rb *Rulebase) Add(r *Rule, actor string) (string, error) {
 	rb.rules[r.ID] = r
 	rb.order = append(rb.order, r.ID)
 	rb.audit = append(rb.audit, AuditEntry{rb.version, "add", r.ID, actor, r.String()})
+	rb.countMutation("add")
 	return r.ID, nil
 }
 
@@ -113,6 +136,7 @@ func (rb *Rulebase) setStatus(id string, st Status, action, actor, note string) 
 	r.Status = st
 	r.UpdatedAt = rb.version
 	rb.audit = append(rb.audit, AuditEntry{rb.version, action, id, actor, note})
+	rb.countMutation(action)
 	return nil
 }
 
@@ -173,6 +197,7 @@ func (rb *Rulebase) UpdateConfidence(id string, conf float64, actor string) erro
 	r.Confidence = conf
 	r.UpdatedAt = rb.version
 	rb.audit = append(rb.audit, AuditEntry{rb.version, "update", id, actor, fmt.Sprintf("confidence=%.3f", conf)})
+	rb.countMutation("update")
 	return nil
 }
 

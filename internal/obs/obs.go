@@ -1,0 +1,315 @@
+// Package obs is the zero-dependency observability layer the §4 maintenance
+// agenda presupposes: detecting problematic rules, retiring dead ones, and
+// monitoring crowd-time precision all require knowing which rules fire, how
+// often, and where batch time goes. The package provides counters, gauges
+// and fixed-bucket latency histograms with atomic hot paths, a span-based
+// tracer for pipeline stages, and JSON / Prometheus-text exposition — built
+// on the standard library only, so instrumented packages stay dependency
+// free.
+//
+// Metrics are owned by a Registry. Handles are get-or-create by (name,
+// labels) and are safe to cache and update from any goroutine:
+//
+//	reg := obs.NewRegistry()
+//	applies := reg.Counter("exec_applies_total")
+//	lat := reg.Histogram("exec_apply_seconds", obs.LatencyBuckets)
+//	applies.Inc()
+//	lat.Observe(time.Since(start).Seconds())
+//
+// Registry.Snapshot() freezes every metric into a serializable value that
+// round-trips through JSON and renders valid Prometheus text exposition.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default histogram layout for operation latencies in
+// seconds: log-spaced from 1µs to 10s, wide enough for a pattern match and a
+// full batch alike.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a floating-point metric that can go up and down.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with atomic observation. Bounds
+// are upper bucket edges in ascending order; an implicit +Inf bucket catches
+// the overflow.
+type Histogram struct {
+	name    string
+	labels  []Label
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// attributing each observation to its bucket's upper bound. The estimate is
+// conservative (never below the true quantile's bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Registry owns a namespace of metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+		help:   map[string]string{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, used by components that are not
+// given an explicit one (CLIs dump it after a run).
+func Default() *Registry { return defaultRegistry }
+
+// makeLabels validates and sorts variadic k,v pairs.
+func makeLabels(kv []string) []Label {
+	if len(kv) == 0 {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %v", kv))
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// metricKey canonicalizes (name, sorted labels) into a map key.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter for (name, labels...), creating it on first
+// use. Labels are alternating name,value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	ls := makeLabels(labels)
+	key := metricKey(name, ls)
+	r.mu.RLock()
+	c, ok := r.counts[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counts[key]; ok {
+		return c
+	}
+	c = &Counter{name: name, labels: ls}
+	r.counts[key] = c
+	return c
+}
+
+// Gauge returns the gauge for (name, labels...), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	ls := makeLabels(labels)
+	key := metricKey(name, ls)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{name: name, labels: ls}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns the histogram for (name, labels...), creating it with
+// the given bucket bounds on first use. Later calls with different bounds
+// return the existing histogram unchanged. Bounds must be ascending; nil
+// falls back to LatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	ls := makeLabels(labels)
+	key := metricKey(name, ls)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{
+		name:   name,
+		labels: ls,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[key] = h
+	return h
+}
+
+// Help attaches a description to a metric family name, emitted as a # HELP
+// line in Prometheus exposition.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("hits_total") != c {
+		t.Fatal("get-or-create must return the same handle")
+	}
+	if reg.Counter("hits_total", "rule", "R1") == c {
+		t.Fatal("labeled counter must be a distinct series")
+	}
+
+	g := reg.Gauge("queue_depth")
+	g.Set(10)
+	g.Add(-2.5)
+	if g.Value() != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Mean() != h.Sum()/5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	snap := reg.Snapshot().Histograms[0]
+	if want := []int64{1, 2, 1, 1}; !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1 (bucket upper bound)", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf", q)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// the -race build verifies the hot paths are genuinely atomic.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("c_total")
+			g := reg.Gauge("g")
+			h := reg.Histogram("h_seconds", nil)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) * 1e-4)
+				// Interleave get-or-create with updates.
+				reg.Counter("c_total", "worker", string(rune('a'+w))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("c_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("g").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("h_seconds", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("rule_fired_total", "per-rule fire counts")
+	reg.Counter("rule_fired_total", "rule", "R000001").Add(7)
+	reg.Counter("rule_fired_total", "rule", "R000002").Add(3)
+	reg.Gauge("est_precision").Set(0.931)
+	h := reg.Histogram("apply_seconds", []float64{1e-4, 1e-3, 1e-2})
+	h.Observe(5e-4)
+	h.Observe(2e-3)
+
+	snap := reg.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, &back) {
+		t.Fatalf("round trip mutated snapshot:\nbefore %+v\nafter  %+v", snap, &back)
+	}
+	// Deterministic ordering: marshaling twice gives identical bytes.
+	data2, _ := json.Marshal(reg.Snapshot())
+	if string(data) != string(data2) {
+		t.Fatal("snapshot serialization is not deterministic")
+	}
+	// Re-rendered exposition from the deserialized snapshot matches.
+	if back.PrometheusText() != snap.PrometheusText() {
+		t.Fatal("exposition differs after JSON round trip")
+	}
+}
+
+// promLine matches a valid Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?(Inf|[0-9].*))$`)
+
+func TestPrometheusTextValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("rule_fired_total", "per-rule fire counts")
+	reg.Counter("rule_fired_total", "rule", `we"ird\va`+"l\nue").Inc()
+	reg.Gauge("decline_rate").Set(0.125)
+	h := reg.Histogram("batch_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+
+	text := reg.PrometheusText()
+	sawType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			sawType[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+	for _, fam := range []string{"rule_fired_total", "decline_rate", "batch_seconds"} {
+		if !sawType[fam] {
+			t.Fatalf("missing # TYPE for %s in:\n%s", fam, text)
+		}
+	}
+	// Histogram invariants: cumulative buckets, +Inf equals count.
+	if !strings.Contains(text, `batch_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket must equal total count:\n%s", text)
+	}
+	if !strings.Contains(text, `batch_seconds_bucket{le="1"} 2`) {
+		t.Fatalf("buckets must be cumulative:\n%s", text)
+	}
+	if !strings.Contains(text, "# HELP rule_fired_total per-rule fire counts") {
+		t.Fatalf("missing HELP line:\n%s", text)
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default must return the same registry")
+	}
+}

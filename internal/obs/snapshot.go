@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file freezes a Registry into serializable form. The Snapshot type is
+// plain data: it round-trips through encoding/json unchanged and can render
+// itself as Prometheus text exposition (version 0.0.4), so a snapshot taken
+// in-process, shipped as JSON and re-rendered at the collector is identical
+// to one rendered locally.
+
+// CounterPoint is one frozen counter.
+type CounterPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugePoint is one frozen gauge.
+type GaugePoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramPoint is one frozen histogram. Counts has len(Bounds)+1 entries;
+// the last is the +Inf overflow bucket.
+type HistogramPoint struct {
+	Name   string    `json:"name"`
+	Labels []Label   `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a frozen registry, sorted deterministically.
+type Snapshot struct {
+	Counters   []CounterPoint    `json:"counters,omitempty"`
+	Gauges     []GaugePoint      `json:"gauges,omitempty"`
+	Histograms []HistogramPoint  `json:"histograms,omitempty"`
+	Help       map[string]string `json:"help,omitempty"`
+}
+
+// Snapshot freezes every metric in the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{}
+	for _, c := range r.counts {
+		s.Counters = append(s.Counters, CounterPoint{Name: c.name, Labels: c.labels, Value: c.Value()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		counts := make([]int64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name: h.name, Labels: h.labels,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: counts, Count: h.Count(), Sum: h.Sum(),
+		})
+	}
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			s.Help[k] = v
+		}
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return pointLess(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return pointLess(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return pointLess(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+	return s
+}
+
+func pointLess(an string, al []Label, bn string, bl []Label) bool {
+	if an != bn {
+		return an < bn
+	}
+	return metricKey(an, al) < metricKey(bn, bl)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...}, with extra appended last (for le=).
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusText renders the snapshot in the Prometheus text exposition
+// format: one # TYPE line per metric family (plus # HELP when registered),
+// then the sample lines. Histograms expand to _bucket/_sum/_count series
+// with cumulative le= buckets ending at +Inf.
+func (s *Snapshot) PrometheusText() string {
+	var b strings.Builder
+	typed := map[string]bool{}
+	header := func(name, kind string) {
+		if typed[name] {
+			return
+		}
+		typed[name] = true
+		if help, ok := s.Help[name]; ok {
+			b.WriteString("# HELP " + name + " " + strings.ReplaceAll(help, "\n", " ") + "\n")
+		}
+		b.WriteString("# TYPE " + name + " " + kind + "\n")
+	}
+	for _, c := range s.Counters {
+		header(c.Name, "counter")
+		b.WriteString(c.Name + labelString(c.Labels) + " " + strconv.FormatInt(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		header(g.Name, "gauge")
+		b.WriteString(g.Name + labelString(g.Labels) + " " + formatFloat(g.Value) + "\n")
+	}
+	for _, h := range s.Histograms {
+		header(h.Name, "histogram")
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := Label{Name: "le", Value: formatFloat(bound)}
+			b.WriteString(h.Name + "_bucket" + labelString(h.Labels, le) + " " + strconv.FormatInt(cum, 10) + "\n")
+		}
+		le := Label{Name: "le", Value: "+Inf"}
+		b.WriteString(h.Name + "_bucket" + labelString(h.Labels, le) + " " + strconv.FormatInt(h.Count, 10) + "\n")
+		b.WriteString(h.Name + "_sum" + labelString(h.Labels) + " " + formatFloat(h.Sum) + "\n")
+		b.WriteString(h.Name + "_count" + labelString(h.Labels) + " " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+	return b.String()
+}
+
+// PrometheusText is shorthand for r.Snapshot().PrometheusText().
+func (r *Registry) PrometheusText() string { return r.Snapshot().PrometheusText() }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/learn"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/randx"
 	"repro/internal/social"
@@ -322,4 +323,46 @@ var (
 	NewTagger         = social.NewTagger
 	NewEventMonitor   = social.NewMonitor
 	NewTweetStream    = social.NewStream
+)
+
+// --- Observability (internal/obs, instrumentation in core and chimera) ------
+
+type (
+	// Metrics is a registry of counters, gauges and latency histograms with
+	// atomic hot paths; Snapshot() round-trips through JSON and renders
+	// Prometheus text exposition.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a frozen, serializable registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records per-stage span trees (the -profile timing output).
+	Tracer = obs.Tracer
+	// Span is one timed pipeline stage.
+	Span = obs.Span
+	// InstrumentedExecutor decorates an executor with per-rule hit counts,
+	// index selectivity and per-Apply latency; verdicts are identical to
+	// the wrapped executor's.
+	InstrumentedExecutor = core.InstrumentedExecutor
+	// RuleHealth is one rule's telemetry-derived health record (never-fired,
+	// always-vetoed, low-precision).
+	RuleHealth = core.RuleHealth
+	// HealthAction is a telemetry-derived maintenance recommendation.
+	HealthAction = core.HealthAction
+	// BatchProfile is the per-batch operational profile (items/sec, decline
+	// rate, queue depth, per-stage decision counts).
+	BatchProfile = chimera.BatchProfile
+)
+
+var (
+	// NewMetrics returns an empty metric registry.
+	NewMetrics = obs.NewRegistry
+	// DefaultMetrics is the process-wide registry, dumped by the CLIs.
+	DefaultMetrics = obs.Default
+	// NewTracer returns an empty span tracer.
+	NewTracer = obs.NewTracer
+	// NewInstrumentedExecutor wraps an executor with telemetry.
+	NewInstrumentedExecutor = core.NewInstrumentedExecutor
+	// PlanHealthActions turns a RuleHealth report into maintenance actions.
+	PlanHealthActions = core.PlanHealthActions
+	// LatencyBuckets is the default latency histogram layout (seconds).
+	LatencyBuckets = obs.LatencyBuckets
 )

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI-style verification: formatting, vet, race-enabled tests on the
+# concurrency-sensitive packages (obs metrics hot paths, core executors),
+# then the tier-1 gate (full build + test, see ROADMAP.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race (obs, core) =="
+go test -race ./internal/obs ./internal/core
+
+echo "== tier-1: go build ./... && go test ./... =="
+go build ./...
+go test ./...
+
+echo "verify: OK"
