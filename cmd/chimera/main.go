@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
@@ -30,6 +33,9 @@ func main() {
 		metrics   = flag.String("metrics", "", `dump the metric snapshot after the run: "json" or "prom"`)
 		profile   = flag.Bool("profile", false, "print the per-batch stage timing tree after the run")
 		health    = flag.Int("health", 0, "print the top-N telemetry-ranked rule-health entries after the run")
+		serveFor  = flag.Duration("serve", 0, "after the batch loop, run the concurrent serving drill for this long (0 = off)")
+		serveCli  = flag.Int("serve-clients", 4, "concurrent catalog clients in the serving drill")
+		serveMut  = flag.Int("serve-mutations", 50, "rule mutations per second during the serving drill")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
@@ -83,6 +89,10 @@ func main() {
 	fmt.Printf("\nfinal state: %s\n", p.Describe())
 	fmt.Printf("precision history: %v\n", p.PrecisionHistory())
 
+	if *serveFor > 0 {
+		serveDrill(cat, p, *serveFor, *serveCli, *serveMut, *seed)
+	}
+
 	if *profile {
 		fmt.Printf("\n== per-batch stage timings ==\n%s", p.Trace.Render())
 	}
@@ -112,6 +122,123 @@ func main() {
 			fmt.Println(string(data))
 		}
 	}
+}
+
+// serveDrill exercises the snapshot-isolated serving layer under live
+// maintenance: clients submit catalog batches through the pipeline's Server
+// while a mutator toggles and re-weights rules at the requested rate. The
+// catalog generator is not concurrency-safe, so each client gets its own
+// pre-generated batch pool and cycles it (submitting strictly one batch at a
+// time, so no item is classified by two workers at once).
+func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients, mutPerSec int, seed uint64) {
+	if clients <= 0 {
+		clients = 1
+	}
+	const poolBatches, poolBatchSize = 8, 100
+	pools := make([][][]*repro.Item, clients)
+	for c := range pools {
+		pools[c] = make([][]*repro.Item, poolBatches)
+		for b := range pools[c] {
+			pools[c][b] = cat.GenerateBatch(repro.BatchSpec{Size: poolBatchSize, Epoch: 2})
+		}
+	}
+
+	srv := p.NewServer(repro.ServeOptions{Workers: clients, QueueDepth: 4 * clients})
+	deadline := time.Now().Add(d)
+	var (
+		mu       sync.Mutex
+		versions = map[uint64]bool{}
+		served   int
+		items    int
+		shed     int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for b := 0; time.Now().Before(deadline); b++ {
+				ticket, err := srv.Submit(pools[c][b%poolBatches])
+				if err != nil {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				out, snap, err := ticket.Wait()
+				if err != nil {
+					return // declined during shutdown; the drill is over
+				}
+				mu.Lock()
+				served++
+				items += len(out)
+				versions[snap.Version()] = true
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	// The maintenance side: disable/enable cycles and confidence updates
+	// against live rules, at the requested rate.
+	stopMut := make(chan struct{})
+	var mutations int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := repro.NewRand(seed + 7)
+		interval := time.Second
+		if mutPerSec > 0 {
+			interval = time.Second / time.Duration(mutPerSec)
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var disabled []string
+		for {
+			select {
+			case <-stopMut:
+				// Leave the rulebase as we found it.
+				for _, id := range disabled {
+					_ = p.Rules.Enable(id, "drill", "serve drill cleanup")
+				}
+				return
+			case <-tick.C:
+				active := p.Rules.Active()
+				if len(active) == 0 {
+					continue
+				}
+				r := active[rng.Intn(len(active))]
+				switch {
+				case len(disabled) > 0 && rng.Intn(3) == 0:
+					id := disabled[len(disabled)-1]
+					disabled = disabled[:len(disabled)-1]
+					_ = p.Rules.Enable(id, "drill", "serve drill")
+				case rng.Intn(2) == 0:
+					if err := p.Rules.Disable(r.ID, "drill", "serve drill"); err == nil {
+						disabled = append(disabled, r.ID)
+					}
+				default:
+					_ = p.Rules.UpdateConfidence(r.ID, 0.5+float64(rng.Intn(50))/100, "drill")
+				}
+				mutations++
+			}
+		}
+	}()
+
+	time.Sleep(time.Until(deadline))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	close(stopMut)
+	wg.Wait()
+
+	reg := p.Obs
+	fmt.Printf("\n== serve drill ==\n")
+	fmt.Printf("clients %d, mutation target %d/s, window %v\n", clients, mutPerSec, d)
+	fmt.Printf("served: %d batches (%d items), shed: %d, declined: %d items\n",
+		served, items, shed, reg.Counter(repro.MetricServeDeclined).Value())
+	fmt.Printf("mutations applied: %d, snapshot swaps: %d, versions observed: %d, final rulebase version: %d\n",
+		mutations, reg.Counter(repro.MetricServeSnapshotSwaps).Value(), len(versions), p.Rules.Version())
 }
 
 func flaggedDecisions(res *repro.BatchResult) []repro.Decision {

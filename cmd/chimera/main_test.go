@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binPath is the chimera binary built once in TestMain; the CLI tests drive
+// the real executable end to end, flags and exit codes included.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "chimera-cli")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "chimera")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		panic("building chimera: " + err.Error() + "\n" + string(out))
+	}
+	os.Exit(m.Run())
+}
+
+// run executes the binary with small-world flags plus extra, returning
+// combined output and the exit error (nil on success).
+func run(t *testing.T, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{
+		"-types", "20", "-train", "400", "-batches", "2", "-batch-size", "150",
+	}, extra...)
+	out, err := exec.Command(binPath, args...).CombinedOutput()
+	return string(out), err
+}
+
+// TestCLIBaseRun checks the operating-log skeleton of a plain run.
+func TestCLIBaseRun(t *testing.T) {
+	out, err := run(t)
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"bootstrapping: 20 types, 400 training items",
+		"initial state:",
+		"epoch 0 mixed vendors",
+		"final state:",
+		"precision history:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "== serve drill ==") {
+		t.Errorf("serve drill ran without -serve:\n%s", out)
+	}
+}
+
+// TestCLIDiagnostics exercises -metrics prom, -health and -profile together.
+func TestCLIDiagnostics(t *testing.T) {
+	out, err := run(t, "-metrics", "prom", "-health", "5", "-profile")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== per-batch stage timings ==",
+		"== rule health (unhealthiest first) ==",
+		"== metrics ==",
+		"chimera_batches_total",
+		"serve_snapshot_swaps_total", // pipeline classifies via snapshots now
+		"serve_snapshot_version",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIMetricsJSON checks the JSON metric dump parses structurally (starts
+// with the snapshot object) and includes the serving gauge.
+func TestCLIMetricsJSON(t *testing.T) {
+	out, err := run(t, "-metrics", "json")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "== metrics ==") ||
+		!strings.Contains(out, `"serve_snapshot_version"`) {
+		t.Errorf("JSON metrics dump missing serve gauge:\n%s", out)
+	}
+}
+
+// TestCLIBadMetricsFlag: an invalid -metrics value must exit 2 with a usage
+// message, not run the pipeline.
+func TestCLIBadMetricsFlag(t *testing.T) {
+	out, err := exec.Command(binPath, "-metrics", "bogus").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), `-metrics must be "json" or "prom"`) {
+		t.Errorf("missing usage message:\n%s", out)
+	}
+	if strings.Contains(string(out), "bootstrapping") {
+		t.Errorf("pipeline ran despite bad flag:\n%s", out)
+	}
+}
+
+// TestCLIServeDrill runs the -serve mode and checks the drill summary: work
+// was served, the serving layer swapped snapshots under mutation, and the
+// drill reports its accounting lines.
+func TestCLIServeDrill(t *testing.T) {
+	out, err := run(t, "-serve", "300ms", "-serve-clients", "2", "-serve-mutations", "200")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== serve drill ==",
+		"clients 2, mutation target 200/s, window 300ms",
+		"served: ",
+		"mutations applied: ",
+		"snapshot swaps: ",
+		"final rulebase version: ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "served: 0 batches") {
+		t.Errorf("serve drill served nothing:\n%s", out)
+	}
+}

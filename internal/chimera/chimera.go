@@ -21,6 +21,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/obs"
 	"repro/internal/randx"
+	"repro/internal/serve"
 )
 
 // Metric families recorded by the pipeline (beyond the core_exec_* and
@@ -216,12 +217,14 @@ type Pipeline struct {
 	Obs   *obs.Registry
 	Trace *obs.Tracer
 
+	// snaps owns the immutable rule-executor snapshots the pipeline
+	// classifies through (see internal/serve): rebuilt only when the
+	// rulebase version changes, swapped atomically, never blocking readers
+	// on rule maintenance.
+	snaps *serve.Engine
+
 	mu       sync.Mutex
 	training []*catalog.Item
-	gateExec core.Executor
-	ruleExec core.Executor
-	ruleInst *core.InstrumentedExecutor // same executor as ruleExec
-	execVer  uint64
 	history  []float64 // per-batch estimated precision
 	manualQ  int       // items routed to manual classification
 	batches  int       // processed batches (names the per-batch spans)
@@ -250,10 +253,34 @@ func New(cfg Config) *Pipeline {
 		Trace:    obs.NewTracer(),
 	}
 	p.Rules.Instrument(p.Obs)
+	p.snaps = serve.NewEngine(p.Rules, serve.EngineOptions{Obs: p.Obs})
 	p.Obs.Help(MetricDecisions, "decisions per deciding stage / decline family")
 	p.Obs.Help(MetricQueueDepth, "items awaiting manual classification")
 	return p
 }
+
+// Snapshots returns the pipeline's snapshot engine. Passive by default
+// (Classify / ProcessBatch acquire version-cached snapshots synchronously);
+// NewServer starts its async rebuild loop for lock-free concurrent serving.
+func (p *Pipeline) Snapshots() *serve.Engine { return p.snaps }
+
+// NewServer wraps the pipeline in a snapshot-isolated concurrent server: a
+// bounded worker pool classifying submitted batches through the full
+// Figure-2 stages, each batch against a single snapshot, while rule
+// maintenance proceeds concurrently on p.Rules. Rule mutations are safe
+// during serving; retraining the ensemble is not (as before).
+func (p *Pipeline) NewServer(opts serve.ServerOptions) *serve.Server[Decision] {
+	if opts.Obs == nil {
+		opts.Obs = p.Obs
+	}
+	return serve.NewServer(p.snaps, func(snap *serve.Snapshot, it *catalog.Item) Decision {
+		return p.classifyWith(it, snap)
+	}, opts)
+}
+
+// Close stops the snapshot engine's async rebuild loop (a no-op when it was
+// never started by NewServer). The pipeline remains usable afterwards.
+func (p *Pipeline) Close() { p.snaps.Close() }
 
 // Train sets (or extends) the training data and trains the ensemble.
 func (p *Pipeline) Train(items []*catalog.Item) {
@@ -279,58 +306,22 @@ func (p *Pipeline) ManualQueue() int {
 	return p.manualQ
 }
 
-// refreshExecutors rebuilds the rule executors when the rulebase changed.
-// Both stages run instrumented: the decorator is verdict-transparent and
-// its per-rule counters are stable across rebuilds (same registry series),
-// so telemetry accumulates over rulebase versions.
-func (p *Pipeline) refreshExecutors() (gate, rules core.Executor) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if v := p.Rules.Version(); p.gateExec == nil || v != p.execVer {
-		p.gateExec = core.NewInstrumentedExecutor(
-			core.NewIndexedExecutor(p.Rules.Active(core.Gate)), p.Obs,
-			"exec", "gate")
-		p.ruleInst = core.NewInstrumentedExecutor(
-			core.NewIndexedExecutor(p.Rules.Active(
-				core.Whitelist, core.Blacklist, core.AttrExists, core.AttrValue,
-				core.TypeRestrict)), p.Obs,
-			"exec", "rules")
-		p.ruleExec = p.ruleInst
-		p.execVer = v
-	}
-	return p.gateExec, p.ruleExec
-}
-
 // RuleHealth returns the telemetry-ranked health report for the classifier
 // rule executor (see core.InstrumentedExecutor.Health); minConfidence is
 // the low-precision floor, typically the business gate. Nil until a batch
 // has been processed. The report feeds core.PlanHealthActions /
 // Rulebase.ApplyHealthActions — the §4 loop from telemetry to maintenance.
 func (p *Pipeline) RuleHealth(minConfidence float64) []core.RuleHealth {
-	p.refreshExecutors()
-	p.mu.Lock()
-	inst := p.ruleInst
-	p.mu.Unlock()
-	return inst.Health(minConfidence)
-}
-
-// activeFilters returns the set of types killed by active Filter rules.
-func (p *Pipeline) activeFilters() map[string]string {
-	out := map[string]string{}
-	for _, r := range p.Rules.Active(core.Filter) {
-		out[r.TargetType] = r.ID
-	}
-	return out
+	return p.snaps.Acquire().RuleTelemetry().Health(minConfidence)
 }
 
 // Classify runs one item through the Figure-2 stages.
 func (p *Pipeline) Classify(it *catalog.Item) Decision {
-	gateExec, ruleExec := p.refreshExecutors()
-	filters := p.activeFilters()
-	return p.classifyWith(it, gateExec, ruleExec, filters)
+	return p.classifyWith(it, p.snaps.Acquire())
 }
 
-func (p *Pipeline) classifyWith(it *catalog.Item, gateExec, ruleExec core.Executor, filters map[string]string) Decision {
+func (p *Pipeline) classifyWith(it *catalog.Item, snap *serve.Snapshot) Decision {
+	gateExec, ruleExec, filters := snap.Gate(), snap.Rules(), snap.Filters()
 	// Stage 1: Gate Keeper.
 	if gv := gateExec.Apply(it); len(gv.FinalTypes()) > 0 {
 		t := gv.FinalTypes()[0]
@@ -434,8 +425,9 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 	defer span.End()
 
 	prep := span.Child("prepare")
-	gateExec, ruleExec := p.refreshExecutors()
-	filters := p.activeFilters()
+	// One snapshot for the whole batch: every item in it is classified under
+	// the same rulebase version, even while maintenance mutates rules.
+	snap := p.snaps.Acquire()
 	prep.End()
 	res := &BatchResult{Decisions: make([]Decision, len(items))}
 
@@ -467,7 +459,7 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				start := time.Now()
-				res.Decisions[i] = p.classifyWith(items[i], gateExec, ruleExec, filters)
+				res.Decisions[i] = p.classifyWith(items[i], snap)
 				latency.Observe(time.Since(start).Seconds())
 			}
 		}(lo, hi)

@@ -32,6 +32,13 @@ type Rulebase struct {
 	nextID  int
 	audit   []AuditEntry
 	obs     *obs.Registry // nil = uninstrumented
+
+	// Mutation subscribers (see Subscribe). Guarded separately from mu so
+	// notifications run outside the rulebase lock and subscribers may call
+	// back into the rulebase (e.g. to take an ActiveView).
+	subMu   sync.RWMutex
+	subs    map[int]func(version uint64)
+	nextSub int
 }
 
 // MetricRulebaseMutations counts rulebase mutations by action label
@@ -65,6 +72,63 @@ func (rb *Rulebase) Version() uint64 {
 	return rb.version
 }
 
+// ActiveView returns the logical clock and the active rules (all kinds, in
+// insertion order) in one consistent read: both come from a single critical
+// section, so the pair describes exactly one rulebase state. This is the
+// primitive the snapshot-isolated serving layer (internal/serve) builds on —
+// reading Version() and Active() separately can interleave with a concurrent
+// mutation and yield a torn (version, rules) pair.
+func (rb *Rulebase) ActiveView() (version uint64, active []*Rule) {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	active = make([]*Rule, 0, len(rb.order))
+	for _, id := range rb.order {
+		if r := rb.rules[id]; r.Status == Active {
+			active = append(active, r)
+		}
+	}
+	return rb.version, active
+}
+
+// Subscribe registers fn to run after every completed mutation, with the
+// version that mutation produced. Notifications are delivered outside the
+// rulebase lock (subscribers may safely read the rulebase) and on the
+// mutating goroutine, so fn must be fast and non-blocking — typically a
+// non-blocking send that wakes an async rebuild loop. The returned cancel
+// removes the subscription.
+func (rb *Rulebase) Subscribe(fn func(version uint64)) (cancel func()) {
+	rb.subMu.Lock()
+	if rb.subs == nil {
+		rb.subs = map[int]func(uint64){}
+	}
+	id := rb.nextSub
+	rb.nextSub++
+	rb.subs[id] = fn
+	rb.subMu.Unlock()
+	return func() {
+		rb.subMu.Lock()
+		delete(rb.subs, id)
+		rb.subMu.Unlock()
+	}
+}
+
+// notify delivers a mutation notification; callers must NOT hold rb.mu.
+func (rb *Rulebase) notify(version uint64) {
+	rb.subMu.RLock()
+	if len(rb.subs) == 0 {
+		rb.subMu.RUnlock()
+		return
+	}
+	fns := make([]func(uint64), 0, len(rb.subs))
+	for _, fn := range rb.subs {
+		fns = append(fns, fn)
+	}
+	rb.subMu.RUnlock()
+	for _, fn := range fns {
+		fn(version)
+	}
+}
+
 // Len returns the total number of rules (all statuses).
 func (rb *Rulebase) Len() int {
 	rb.mu.RLock()
@@ -75,14 +139,23 @@ func (rb *Rulebase) Len() int {
 // Add inserts a rule, assigning its ID and clock stamps. The actor is
 // recorded in the audit log and as the rule author when the rule has none.
 func (rb *Rulebase) Add(r *Rule, actor string) (string, error) {
+	id, ver, err := rb.addLocked(r, actor)
+	if err != nil {
+		return "", err
+	}
+	rb.notify(ver)
+	return id, nil
+}
+
+func (rb *Rulebase) addLocked(r *Rule, actor string) (string, uint64, error) {
 	if r == nil {
-		return "", fmt.Errorf("core: nil rule")
+		return "", 0, fmt.Errorf("core: nil rule")
 	}
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	if r.ID != "" {
 		if _, exists := rb.rules[r.ID]; exists {
-			return "", fmt.Errorf("core: rule id %q already present", r.ID)
+			return "", 0, fmt.Errorf("core: rule id %q already present", r.ID)
 		}
 	} else {
 		rb.nextID++
@@ -98,7 +171,7 @@ func (rb *Rulebase) Add(r *Rule, actor string) (string, error) {
 	rb.order = append(rb.order, r.ID)
 	rb.audit = append(rb.audit, AuditEntry{rb.version, "add", r.ID, actor, r.String()})
 	rb.countMutation("add")
-	return r.ID, nil
+	return r.ID, rb.version, nil
 }
 
 // AddAll inserts a batch of rules, stopping at the first error.
@@ -120,24 +193,35 @@ func (rb *Rulebase) Get(id string) *Rule {
 
 // setStatus transitions a rule's lifecycle state.
 func (rb *Rulebase) setStatus(id string, st Status, action, actor, note string) error {
+	changed, ver, err := rb.setStatusLocked(id, st, action, actor, note)
+	if err != nil {
+		return err
+	}
+	if changed {
+		rb.notify(ver)
+	}
+	return nil
+}
+
+func (rb *Rulebase) setStatusLocked(id string, st Status, action, actor, note string) (bool, uint64, error) {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	r, ok := rb.rules[id]
 	if !ok {
-		return fmt.Errorf("core: no rule %q", id)
+		return false, 0, fmt.Errorf("core: no rule %q", id)
 	}
 	if r.Status == Retired && st != Retired {
-		return fmt.Errorf("core: rule %q is retired and cannot be %s", id, action)
+		return false, 0, fmt.Errorf("core: rule %q is retired and cannot be %s", id, action)
 	}
 	if r.Status == st {
-		return nil
+		return false, 0, nil
 	}
 	rb.version++
 	r.Status = st
 	r.UpdatedAt = rb.version
 	rb.audit = append(rb.audit, AuditEntry{rb.version, action, id, actor, note})
 	rb.countMutation(action)
-	return nil
+	return true, rb.version, nil
 }
 
 // Disable turns a rule off — the per-rule "scale down" of §3.2 ("if that
@@ -187,18 +271,27 @@ func (rb *Rulebase) EnableAll(ids []string, actor, note string) {
 
 // UpdateConfidence records a fresh precision estimate for a rule.
 func (rb *Rulebase) UpdateConfidence(id string, conf float64, actor string) error {
+	ver, err := rb.updateConfidenceLocked(id, conf, actor)
+	if err != nil {
+		return err
+	}
+	rb.notify(ver)
+	return nil
+}
+
+func (rb *Rulebase) updateConfidenceLocked(id string, conf float64, actor string) (uint64, error) {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	r, ok := rb.rules[id]
 	if !ok {
-		return fmt.Errorf("core: no rule %q", id)
+		return 0, fmt.Errorf("core: no rule %q", id)
 	}
 	rb.version++
 	r.Confidence = conf
 	r.UpdatedAt = rb.version
 	rb.audit = append(rb.audit, AuditEntry{rb.version, "update", id, actor, fmt.Sprintf("confidence=%.3f", conf)})
 	rb.countMutation("update")
-	return nil
+	return rb.version, nil
 }
 
 // Active returns active rules, optionally filtered by kinds (empty = all
@@ -312,12 +405,21 @@ func (rb *Rulebase) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON implements json.Unmarshaler.
+// UnmarshalJSON implements json.Unmarshaler. A successful load counts as one
+// mutation for subscribers: they are notified with the loaded version.
 func (rb *Rulebase) UnmarshalJSON(data []byte) error {
 	var j rulebaseJSON
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
+	if err := rb.loadLocked(&j); err != nil {
+		return err
+	}
+	rb.notify(j.Version)
+	return nil
+}
+
+func (rb *Rulebase) loadLocked(j *rulebaseJSON) error {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	rb.rules = make(map[string]*Rule, len(j.Rules))

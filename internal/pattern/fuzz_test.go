@@ -1,0 +1,81 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/tokenize"
+)
+
+// FuzzParseRule drives arbitrary byte soup through the rule-pattern parser —
+// the path every analyst-authored rule takes on its way into the rulebase
+// (§3.3) — and checks three invariants:
+//
+//  1. Parse never panics: it either returns a pattern or an error.
+//  2. A successfully parsed pattern never panics when matched against an
+//     arbitrary tokenized title.
+//  3. The canonical form round-trips: String() must itself parse, and the
+//     reparsed pattern must agree with the original on the fuzzed title.
+//     (Canonical text is what audit logs and the §5.1 synonym tool consume,
+//     so a canonical form that fails to reparse would corrupt maintenance.)
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"rings?",
+		"diamond.*trio sets?",
+		"(motor | engine) oils?",
+		"(motor | engine | \\syn) oils?",
+		"(abrasive|sand(er|ing))[ -](wheels?|discs?)",
+		"pick[ -]?up (oil | lubricant)s?",
+		"(\\w+) oils?",
+		"(\\w+\\s+\\w+) oils?",
+		"denim.*jeans?",
+		"a(b|c)?d",
+		"((a|b) (c|d))?e",
+		"\\s+",
+		"(((((x)))))",
+		"a|b|c|d|e|f|g|h",
+		"[-- ]bad[class",
+		"(unclosed",
+		"",
+		"   ",
+		".*",
+		"\\syn",
+	}
+	titles := []string{
+		"acme motor oils",
+		"pick up lubricant s",
+		"diamond ring trio set",
+		"",
+	}
+	for _, s := range seeds {
+		for _, ttl := range titles {
+			f.Add(s, ttl)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src, title string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) returned nil pattern and nil error", src)
+		}
+		toks := tokenize.Tokenize(title)
+		got := p.Match(toks)
+
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: Parse(%q)=%v (original %q)",
+				canon, err, src)
+		}
+		if got2 := p2.Match(toks); got2 != got {
+			t.Fatalf("canonical form disagrees: %q matched %v, reparsed %q matched %v on %q",
+				src, got, canon, got2, title)
+		}
+		// Canonicalization must be a fixpoint: String of the reparse equals
+		// the first canonical form.
+		if canon2 := p2.String(); canon2 != canon {
+			t.Fatalf("canonical form not stable: %q -> %q -> %q", src, canon, canon2)
+		}
+	})
+}

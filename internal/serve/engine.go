@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Metric families recorded by the serving layer.
+const (
+	// MetricSnapshotSwaps counts snapshot publishes (initial build included).
+	MetricSnapshotSwaps = "serve_snapshot_swaps_total"
+	// MetricSnapshotBuild is the rebuild-and-swap latency histogram.
+	MetricSnapshotBuild = "serve_snapshot_build_seconds"
+	// MetricSnapshotVersion is the version of the published snapshot.
+	MetricSnapshotVersion = "serve_snapshot_version"
+	// MetricQueueDepth is the number of queued (not yet picked up) requests.
+	MetricQueueDepth = "serve_queue_depth"
+	// MetricShed counts requests declined at Submit because the queue was full.
+	MetricShed = "serve_shed_total"
+	// MetricBatches / MetricItems count served requests and their items.
+	MetricBatches = "serve_batches_total"
+	MetricItems   = "serve_items_total"
+	// MetricDeclined counts items declined during a shutdown drain.
+	MetricDeclined = "serve_declined_total"
+)
+
+// DefaultDebounce is the rebuild debounce: after a mutation wakes the async
+// loop, the engine waits this long so a burst of maintenance actions (a
+// scale-down disabling dozens of rules, a batch of patch rules) costs one
+// rebuild, not one per mutation.
+const DefaultDebounce = 2 * time.Millisecond
+
+// EngineOptions parameterizes an Engine. Zero values take defaults.
+type EngineOptions struct {
+	// Debounce is the async rebuild delay after a mutation (DefaultDebounce
+	// when 0; negative means rebuild immediately).
+	Debounce time.Duration
+	// Obs receives the engine's metrics and the snapshots' executor
+	// telemetry (obs.Default when nil).
+	Obs *obs.Registry
+}
+
+// Engine owns the current Snapshot of one rulebase and keeps it fresh.
+//
+// Readers call Current (lock-free atomic load; may be briefly stale while an
+// async rebuild is pending) or Acquire (version-checked; rebuilds
+// synchronously when stale — the fallback serving path when the async loop
+// is not running, and the replacement for the old per-batch
+// refreshExecutors: the rebuild is cached by rulebase version, so an
+// unchanged rulebase never rebuilds). Writers mutate the rulebase normally;
+// after Start, every mutation wakes the debounced rebuild-and-swap loop.
+type Engine struct {
+	rb       *core.Rulebase
+	reg      *obs.Registry
+	debounce time.Duration
+
+	cur     atomic.Pointer[Snapshot]
+	buildMu sync.Mutex // single-flight rebuilds
+
+	swaps    *obs.Counter
+	buildSec *obs.Histogram
+	verGauge *obs.Gauge
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	kick      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	unsub     func()
+}
+
+// NewEngine builds the initial snapshot of rb and returns a passive engine:
+// Acquire serves version-cached synchronous rebuilds until Start launches
+// the async loop. A passive engine holds no goroutines and needs no Close
+// (Close is still safe to call).
+func NewEngine(rb *core.Rulebase, opts EngineOptions) *Engine {
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	debounce := opts.Debounce
+	if debounce == 0 {
+		debounce = DefaultDebounce
+	}
+	e := &Engine{
+		rb:       rb,
+		reg:      reg,
+		debounce: debounce,
+		swaps:    reg.Counter(MetricSnapshotSwaps),
+		buildSec: reg.Histogram(MetricSnapshotBuild, obs.LatencyBuckets),
+		verGauge: reg.Gauge(MetricSnapshotVersion),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	reg.Help(MetricSnapshotSwaps, "snapshot publishes (rebuild-and-swap)")
+	reg.Help(MetricSnapshotVersion, "rulebase version of the published snapshot")
+	start := time.Now()
+	e.publish(BuildSnapshot(rb, reg), time.Since(start))
+	return e
+}
+
+// Registry returns the engine's metric registry.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Rulebase returns the rulebase the engine snapshots.
+func (e *Engine) Rulebase() *core.Rulebase { return e.rb }
+
+// Current returns the published snapshot without touching the rulebase lock.
+// It may lag the rulebase by up to the debounce window (plus rebuild time)
+// while the async loop catches up; it is never nil and never torn.
+func (e *Engine) Current() *Snapshot { return e.cur.Load() }
+
+// Acquire returns a snapshot that is up to date with the rulebase version at
+// the time of the call, rebuilding synchronously when stale. Rebuilds are
+// single-flight and cached by version: with an unchanged rulebase this is a
+// version compare and an atomic load.
+func (e *Engine) Acquire() *Snapshot {
+	if s := e.cur.Load(); s.Version() == e.rb.Version() {
+		return s
+	}
+	return e.rebuild()
+}
+
+// rebuild builds and publishes a fresh snapshot unless another goroutine
+// already caught the engine up while we waited for the build lock.
+func (e *Engine) rebuild() *Snapshot {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if s := e.cur.Load(); s.Version() == e.rb.Version() {
+		return s
+	}
+	start := time.Now()
+	snap := BuildSnapshot(e.rb, e.reg)
+	e.publish(snap, time.Since(start))
+	return snap
+}
+
+func (e *Engine) publish(snap *Snapshot, buildTime time.Duration) {
+	e.cur.Store(snap)
+	e.swaps.Inc()
+	e.buildSec.Observe(buildTime.Seconds())
+	e.verGauge.Set(float64(snap.Version()))
+}
+
+// Start subscribes to the rulebase and launches the async rebuild loop:
+// after a mutation, the loop debounces briefly (collapsing mutation bursts)
+// and then rebuilds and swaps the published snapshot. Idempotent. After
+// Start, readers on Current never block on maintenance.
+func (e *Engine) Start() {
+	e.startOnce.Do(func() {
+		e.unsub = e.rb.Subscribe(func(uint64) {
+			select {
+			case e.kick <- struct{}{}:
+			default: // a rebuild is already pending; it will pick this up
+			}
+		})
+		e.wg.Add(1)
+		go e.loop()
+	})
+}
+
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.kick:
+			if e.debounce > 0 {
+				timer := time.NewTimer(e.debounce)
+				select {
+				case <-e.done:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+			}
+			// Mutations that land during the build leave a pending kick, so
+			// the loop converges to the latest version.
+			e.rebuild()
+		}
+	}
+}
+
+// Close stops the async loop and unsubscribes from the rulebase. Safe to
+// call on a never-started engine and safe to call twice. The published
+// snapshot stays valid; Acquire keeps working in passive mode.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.unsub != nil {
+			e.unsub()
+		}
+		close(e.done)
+		e.wg.Wait()
+	})
+}

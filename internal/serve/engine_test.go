@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestEngineAsyncSwap: after Start, a mutation must cause the published
+// snapshot to catch up to the new rulebase version without any reader
+// touching the rulebase lock.
+func TestEngineAsyncSwap(t *testing.T) {
+	eng, reg := testEngine(t)
+	eng.Start()
+	if v := eng.Current().Version(); v != eng.Rulebase().Version() {
+		t.Fatalf("initial snapshot at version %d, rulebase at %d", v, eng.Rulebase().Version())
+	}
+
+	r, err := core.NewWhitelist("sprocket", "gizmo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rulebase().Add(r, "test"); err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Rulebase().Version()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.Current().Version() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot stuck at version %d, want %d", eng.Current().Version(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := reg.Counter(MetricSnapshotSwaps).Value(); n < 2 {
+		t.Fatalf("swap counter = %d, want >= 2", n)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+}
+
+// TestAcquireCachesByVersion: with an unchanged rulebase, Acquire returns the
+// same snapshot pointer (no rebuild); after a mutation it returns a new one
+// at the new version. This is the fix for the old per-batch refreshExecutors
+// path, which rebuilt the filter table on every call.
+func TestAcquireCachesByVersion(t *testing.T) {
+	eng, _ := testEngine(t)
+	s1 := eng.Acquire()
+	s2 := eng.Acquire()
+	if s1 != s2 {
+		t.Fatal("Acquire rebuilt a snapshot for an unchanged rulebase")
+	}
+
+	r, err := core.NewWhitelist("doohickey", "gizmo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rulebase().Add(r, "test"); err != nil {
+		t.Fatal(err)
+	}
+	s3 := eng.Acquire()
+	if s3 == s1 {
+		t.Fatal("Acquire returned a stale snapshot after a mutation")
+	}
+	if s3.Version() != eng.Rulebase().Version() {
+		t.Fatalf("Acquire at version %d, rulebase at %d", s3.Version(), eng.Rulebase().Version())
+	}
+	if s4 := eng.Acquire(); s4 != s3 {
+		t.Fatal("Acquire rebuilt again for an unchanged rulebase")
+	}
+}
+
+// TestSnapshotIsolation: an in-flight batch holding an old snapshot keeps
+// classifying under the rules frozen at acquisition, even after those rules
+// are disabled in the rulebase — while new acquisitions see the change.
+func TestSnapshotIsolation(t *testing.T) {
+	rb := core.NewRulebase()
+	r, err := core.NewWhitelist("widget", "gadget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rb.Add(r, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(rb, EngineOptions{Obs: obs.NewRegistry()})
+	defer eng.Close()
+
+	it := &catalog.Item{ID: "x", Attrs: map[string]string{"Title": "acme widget"}}
+	old := eng.Acquire()
+	if got := old.Apply(it).FinalTypes(); len(got) != 1 || got[0] != "gadget" {
+		t.Fatalf("before disable: %v", got)
+	}
+
+	if err := rb.Disable(id, "test", "isolation test"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot is frozen: the disabled rule still fires there.
+	if got := old.Apply(it).FinalTypes(); len(got) != 1 || got[0] != "gadget" {
+		t.Fatalf("old snapshot no longer isolated: %v", got)
+	}
+	// A fresh acquisition sees the disable.
+	if got := eng.Acquire().Apply(it).FinalTypes(); len(got) != 0 {
+		t.Fatalf("fresh snapshot still fires disabled rule: %v", got)
+	}
+}

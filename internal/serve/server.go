@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when the request queue is at its
+	// depth limit — the explicit shed that keeps latency bounded under
+	// overload instead of queueing without bound.
+	ErrQueueFull = errors.New("serve: queue full, request shed")
+	// ErrShutdown is returned by Submit after Shutdown began.
+	ErrShutdown = errors.New("serve: server shut down")
+	// ErrDeclined resolves tickets whose request was still queued when the
+	// shutdown drain deadline expired: the work was not done, and the caller
+	// is told so explicitly — no request is ever silently dropped.
+	ErrDeclined = errors.New("serve: declined during shutdown drain")
+)
+
+// Handler classifies one item against one immutable snapshot. It is called
+// from worker goroutines and must be safe for concurrent use with distinct
+// items (snapshots are immutable; per-item state is worker-local).
+type Handler[R any] func(snap *Snapshot, it *catalog.Item) R
+
+// ServerOptions parameterizes a Server. Zero values take defaults.
+type ServerOptions struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of queued requests; Submit sheds beyond
+	// it (default 64).
+	QueueDepth int
+	// Obs receives the server's metrics (default: the engine's registry).
+	Obs *obs.Registry
+}
+
+// request is one submitted batch and its resolution slot.
+type request[R any] struct {
+	items []*catalog.Item
+	out   []R
+	snap  *Snapshot
+	err   error
+	done  chan struct{}
+}
+
+// Ticket is the caller's handle on a submitted request.
+type Ticket[R any] struct{ req *request[R] }
+
+// Done is closed when the request resolved (served or declined).
+func (t *Ticket[R]) Done() <-chan struct{} { return t.req.done }
+
+// Wait blocks until the request resolves. On success it returns the per-item
+// results and the snapshot the whole batch was classified under (its Version
+// ties every verdict to exactly one rulebase state). On a drain decline it
+// returns (nil, nil, ErrDeclined).
+func (t *Ticket[R]) Wait() ([]R, *Snapshot, error) {
+	<-t.req.done
+	return t.req.out, t.req.snap, t.req.err
+}
+
+// Server is the concurrent serving frontend: a bounded queue feeding a fixed
+// worker pool, where each request is processed entirely against the snapshot
+// current at pick-up time. Backpressure is explicit (ErrQueueFull), shutdown
+// is graceful (queued work completes, or is explicitly declined when the
+// drain deadline expires), and queue depth / sheds / served counts are
+// recorded in obs.
+type Server[R any] struct {
+	eng *Engine
+	h   Handler[R]
+
+	mu        sync.RWMutex // guards closed + the queue-close transition
+	closed    bool
+	queue     chan *request[R]
+	abort     chan struct{}
+	abortOnce sync.Once
+	wg        sync.WaitGroup
+
+	depth    *obs.Gauge
+	shed     *obs.Counter
+	batches  *obs.Counter
+	items    *obs.Counter
+	declined *obs.Counter
+}
+
+// NewServer starts the worker pool (and the engine's async rebuild loop, so
+// workers read fresh snapshots without touching the rulebase lock). The
+// caller owns Shutdown/Drain on the server; the engine is left running for
+// its owner to Close.
+func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	queueDepth := opts.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = eng.Registry()
+	}
+	s := &Server[R]{
+		eng:      eng,
+		h:        h,
+		queue:    make(chan *request[R], queueDepth),
+		abort:    make(chan struct{}),
+		depth:    reg.Gauge(MetricQueueDepth),
+		shed:     reg.Counter(MetricShed),
+		batches:  reg.Counter(MetricBatches),
+		items:    reg.Counter(MetricItems),
+		declined: reg.Counter(MetricDeclined),
+	}
+	reg.Help(MetricQueueDepth, "requests queued, not yet picked up by a worker")
+	reg.Help(MetricShed, "requests shed at Submit (queue full)")
+	reg.Help(MetricDeclined, "items explicitly declined during shutdown drain")
+	eng.Start()
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a batch for classification. It never blocks: when the
+// queue is at its depth limit the request is shed with ErrQueueFull (the
+// caller decides whether to retry, spill, or route to manual); after
+// Shutdown it returns ErrShutdown.
+func (s *Server[R]) Submit(items []*catalog.Item) (*Ticket[R], error) {
+	req := &request[R]{items: items, done: make(chan struct{})}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrShutdown
+	}
+	select {
+	case s.queue <- req:
+		s.depth.Add(1)
+		return &Ticket[R]{req}, nil
+	default:
+		s.shed.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+func (s *Server[R]) worker() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		s.depth.Add(-1)
+		select {
+		case <-s.abort:
+			// Drain deadline expired: decline explicitly, never drop.
+			req.err = ErrDeclined
+			s.declined.Add(int64(len(req.items)))
+			close(req.done)
+			continue
+		default:
+		}
+		// Snapshot isolation: the whole request runs against the snapshot
+		// current at pick-up; a concurrent swap does not affect it.
+		snap := s.eng.Current()
+		out := make([]R, len(req.items))
+		for i, it := range req.items {
+			out[i] = s.h(snap, it)
+		}
+		req.out, req.snap = out, snap
+		s.batches.Inc()
+		s.items.Add(int64(len(req.items)))
+		close(req.done)
+	}
+}
+
+// Shutdown stops accepting new requests and waits for the queue to drain.
+// If ctx expires first, the remaining queued requests are explicitly
+// declined (their tickets resolve with ErrDeclined) and ctx.Err() is
+// returned; requests already being processed always complete. Either way,
+// every submitted ticket resolves. Safe to call more than once.
+func (s *Server[R]) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		close(s.queue) // Submit can no longer send: closed is set under mu
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.abortOnce.Do(func() { close(s.abort) })
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Drain is Shutdown without a deadline: every queued request completes.
+func (s *Server[R]) Drain() { _ = s.Shutdown(context.Background()) }

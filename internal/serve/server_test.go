@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func testEngine(t testing.TB) (*Engine, *obs.Registry) {
+	t.Helper()
+	rb := core.NewRulebase()
+	r, err := core.NewWhitelist("widget", "gadget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(r, "test"); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng := NewEngine(rb, EngineOptions{Obs: reg, Debounce: 100 * time.Microsecond})
+	t.Cleanup(eng.Close)
+	return eng, reg
+}
+
+func oneItem(id string) []*catalog.Item {
+	return []*catalog.Item{{ID: id, Attrs: map[string]string{"Title": "acme widget"}}}
+}
+
+// TestServerShedsWhenQueueFull: with a single blocked worker and a depth-2
+// queue, the overflow Submit must shed with ErrQueueFull instead of blocking,
+// and the shed counter must record it. Released requests all complete.
+func TestServerShedsWhenQueueFull(t *testing.T) {
+	eng, reg := testEngine(t)
+	pickedUp := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) int {
+		if first {
+			first = false
+			close(pickedUp)
+			<-release
+		}
+		return len(snap.Apply(it).FinalTypes())
+	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg})
+
+	// First request occupies the worker...
+	t0, err := srv.Submit(oneItem("blockee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-pickedUp
+	// ...next two fill the queue...
+	t1, err := srv.Submit(oneItem("q1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := srv.Submit(oneItem("q2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the fourth must be shed, not blocked.
+	if _, err := srv.Submit(oneItem("overflow")); err != ErrQueueFull {
+		t.Fatalf("overflow Submit: got %v, want ErrQueueFull", err)
+	}
+	if n := reg.Counter(MetricShed).Value(); n != 1 {
+		t.Fatalf("shed counter = %d, want 1", n)
+	}
+
+	close(release)
+	srv.Drain()
+	for i, tk := range []*Ticket[int]{t0, t1, t2} {
+		if _, _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if n := reg.Counter(MetricBatches).Value(); n != 3 {
+		t.Fatalf("served %d batches, want 3", n)
+	}
+}
+
+// TestShutdownDeclinesQueuedRequests is the graceful-drain acceptance test:
+// shutting down mid-batch either completes or explicitly declines every
+// queued request — nothing is dropped, every ticket resolves. With one worker
+// blocked on the first request and nine more queued, an expired drain
+// deadline must yield exactly 1 completion and 9 declines.
+func TestShutdownDeclinesQueuedRequests(t *testing.T) {
+	eng, reg := testEngine(t)
+	pickedUp := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		if first {
+			first = false
+			close(pickedUp)
+			<-release
+		}
+		return it.ID
+	}, ServerOptions{Workers: 1, QueueDepth: 32, Obs: reg})
+
+	tickets := make([]*Ticket[string], 0, 10)
+	for i := 0; i < 10; i++ {
+		tk, err := srv.Submit(oneItem(fmt.Sprintf("item-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	<-pickedUp
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	// The in-flight request is released only after Shutdown has engaged the
+	// abort path (not merely after ctx expired — the worker could otherwise
+	// race ahead and drain the queue), so the 9 queued requests must all be
+	// declined.
+	<-ctx.Done()
+	<-srv.abort
+	close(release)
+	if err := <-shutdownErr; err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown returned %v, want context.DeadlineExceeded", err)
+	}
+
+	completed, declined := 0, 0
+	for i, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("ticket %d unresolved after Shutdown returned", i)
+		}
+		out, snap, err := tk.Wait()
+		switch err {
+		case nil:
+			completed++
+			if snap == nil || len(out) != 1 {
+				t.Fatalf("ticket %d completed without results", i)
+			}
+		case ErrDeclined:
+			declined++
+		default:
+			t.Fatalf("ticket %d: unexpected error %v", i, err)
+		}
+	}
+	if completed != 1 || declined != 9 {
+		t.Fatalf("completed=%d declined=%d, want 1/9", completed, declined)
+	}
+	if n := reg.Counter(MetricDeclined).Value(); n != 9 {
+		t.Fatalf("declined counter = %d, want 9", n)
+	}
+	if _, err := srv.Submit(oneItem("late")); err != ErrShutdown {
+		t.Fatalf("Submit after Shutdown: got %v, want ErrShutdown", err)
+	}
+}
+
+// TestDrainCompletesEverything: Drain (no deadline) lets every queued request
+// finish; nothing is declined and a second Shutdown is a no-op.
+func TestDrainCompletesEverything(t *testing.T) {
+	eng, reg := testEngine(t)
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		return it.ID
+	}, ServerOptions{Workers: 2, QueueDepth: 32, Obs: reg})
+
+	tickets := make([]*Ticket[string], 0, 12)
+	for i := 0; i < 12; i++ {
+		tk, err := srv.Submit(oneItem(fmt.Sprintf("item-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	srv.Drain()
+	srv.Drain() // idempotent
+	for i, tk := range tickets {
+		out, _, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if out[0] != fmt.Sprintf("item-%d", i) {
+			t.Fatalf("ticket %d: got %q", i, out[0])
+		}
+	}
+	if n := reg.Counter(MetricDeclined).Value(); n != 0 {
+		t.Fatalf("declined counter = %d, want 0", n)
+	}
+	if n := reg.Counter(MetricBatches).Value(); n != 12 {
+		t.Fatalf("batches counter = %d, want 12", n)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/randx"
+	"repro/internal/serve"
 	"repro/internal/social"
 	"repro/internal/synonym"
 )
@@ -350,6 +351,50 @@ type (
 	// BatchProfile is the per-batch operational profile (items/sec, decline
 	// rate, queue depth, per-stage decision counts).
 	BatchProfile = chimera.BatchProfile
+)
+
+// --- Serving layer (internal/serve) ------------------------------------------
+
+type (
+	// ServeSnapshot is an immutable, pre-built view of the active rules at
+	// one rulebase version: lock-free to read, never torn.
+	ServeSnapshot = serve.Snapshot
+	// ServeEngine owns the current snapshot and keeps it fresh — either
+	// synchronously and version-cached (Acquire) or via the async
+	// rebuild-and-swap loop (Start/Current).
+	ServeEngine = serve.Engine
+	// ServeEngineOptions parameterizes a ServeEngine.
+	ServeEngineOptions = serve.EngineOptions
+	// ServeOptions parameterizes a Server (workers, queue depth).
+	ServeOptions = serve.ServerOptions
+	// Server is the concurrent serving frontend instantiated by
+	// Pipeline.NewServer: bounded queue, worker pool, explicit shed and
+	// graceful drain. Each batch is classified under one snapshot.
+	Server = serve.Server[chimera.Decision]
+	// ServeTicket is the caller's handle on a submitted batch.
+	ServeTicket = serve.Ticket[chimera.Decision]
+)
+
+var (
+	// NewServeEngine builds the snapshot engine for a standalone rulebase
+	// (pipelines get one automatically; see Pipeline.Snapshots).
+	NewServeEngine = serve.NewEngine
+	// ErrServeQueueFull is Submit's explicit-shed error.
+	ErrServeQueueFull = serve.ErrQueueFull
+	// ErrServeShutdown is returned by Submit after shutdown began.
+	ErrServeShutdown = serve.ErrShutdown
+	// ErrServeDeclined resolves tickets declined by an expiring drain.
+	ErrServeDeclined = serve.ErrDeclined
+)
+
+// Serving-layer metric names (in the pipeline's Obs registry).
+const (
+	MetricServeSnapshotSwaps = serve.MetricSnapshotSwaps
+	MetricServeQueueDepth    = serve.MetricQueueDepth
+	MetricServeShed          = serve.MetricShed
+	MetricServeBatches       = serve.MetricBatches
+	MetricServeItems         = serve.MetricItems
+	MetricServeDeclined      = serve.MetricDeclined
 )
 
 var (
