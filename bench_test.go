@@ -516,6 +516,68 @@ func BenchmarkServeSnapshotUnderMutation(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Batch-classification benchmarks (per-item index probes vs batch-inverted
+// join) — the standard 5k-item/1k-rule batch; acceptance floor: the batch
+// matcher at ≥1.5× the per-item indexed throughput (EXPERIMENTS.md records
+// the measured ratio).
+// ---------------------------------------------------------------------------
+
+// benchBatchWorkers is the worker count both batch-classification paths use,
+// so the comparison isolates the matching strategy, not the parallelism.
+const benchBatchWorkers = 4
+
+// benchBatchSetup builds the standard load: a ~1k-rule whitelist population
+// over a 250-type taxonomy and a 5k-item batch with pre-warmed token caches.
+func benchBatchSetup(b *testing.B) ([]*core.Rule, []*catalog.Item) {
+	b.Helper()
+	cat := catalog.New(catalog.Config{Seed: 7, NumTypes: 250})
+	rb := core.NewRulebase()
+	for _, ty := range cat.Types() {
+		for _, h := range ty.HeadTerms {
+			if r, err := core.NewWhitelist(h.Text, ty.Name); err == nil {
+				_, _ = rb.Add(r, "bench")
+			}
+		}
+		for _, s := range ty.Synonyms {
+			if r, err := core.NewWhitelist(s.Text, ty.Name); err == nil {
+				_, _ = rb.Add(r, "bench")
+			}
+		}
+	}
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 5000, Epoch: 0})
+	for _, it := range items {
+		it.TitleTokens()
+	}
+	return rb.Active(), items
+}
+
+// BenchmarkBatchClassifyPerItemIndexed is the reference path: per-item
+// CandidatesFor probes through the rule index, sharded across workers.
+func BenchmarkBatchClassifyPerItemIndexed(b *testing.B) {
+	rules, items := benchBatchSetup(b)
+	ex := core.NewIndexedExecutor(rules)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ExecuteBatchItemwise(ex, items, benchBatchWorkers)
+	}
+	b.ReportMetric(float64(len(rules)), "rules")
+	b.ReportMetric(float64(b.N)*float64(len(items))/b.Elapsed().Seconds(), "items/sec")
+}
+
+// BenchmarkBatchClassifyBatchInverted is the batch-inverted matcher on the
+// same rulebase, items and worker count.
+func BenchmarkBatchClassifyBatchInverted(b *testing.B) {
+	rules, items := benchBatchSetup(b)
+	bm := core.NewBatchMatcher(core.NewIndexedExecutor(rules).Index())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.MatchBatch(items, benchBatchWorkers)
+	}
+	b.ReportMetric(float64(len(rules)), "rules")
+	b.ReportMetric(float64(b.N)*float64(len(items))/b.Elapsed().Seconds(), "items/sec")
+}
+
 func BenchmarkCatalogGenerate(b *testing.B) {
 	cat := catalog.New(catalog.Config{Seed: 7, NumTypes: 120})
 	b.ResetTimer()

@@ -36,6 +36,7 @@ func main() {
 		serveFor  = flag.Duration("serve", 0, "after the batch loop, run the concurrent serving drill for this long (0 = off)")
 		serveCli  = flag.Int("serve-clients", 4, "concurrent catalog clients in the serving drill")
 		serveMut  = flag.Int("serve-mutations", 50, "rule mutations per second during the serving drill")
+		perItem   = flag.Bool("per-item", false, "classify batches item-at-a-time (reference path) instead of the batch-inverted matcher")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
@@ -44,7 +45,7 @@ func main() {
 	}
 
 	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types, ZipfS: 1.3})
-	p := repro.NewPipeline(repro.PipelineConfig{Seed: *seed})
+	p := repro.NewPipeline(repro.PipelineConfig{Seed: *seed, PerItem: *perItem})
 
 	fmt.Printf("bootstrapping: %d types, %d training items\n", *types, *trainSize)
 	p.Train(cat.LabeledData(*trainSize))

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/randx"
 	"repro/internal/tokenize"
@@ -33,18 +34,38 @@ type Item struct {
 	// Epoch is the batch epoch the item was generated in.
 	Epoch int
 
-	titleTokens []string // lazy cache
+	tokOnce     sync.Once
+	titleTokens []string // computed by tokOnce; nil is a valid cached value
 }
 
 // Title returns the item's title attribute.
 func (it *Item) Title() string { return it.Attrs["Title"] }
 
-// TitleTokens returns the tokenized title, computed once.
+// TitleTokens returns the tokenized title, computed exactly once. The
+// sync.Once makes the lazy cache safe when the same item is visible to
+// several goroutines (batch classification, TokenDF, data indexing) and
+// doubles as the "computed" flag, so an empty title — whose token slice is
+// nil — is not re-tokenized on every call.
 func (it *Item) TitleTokens() []string {
-	if it.titleTokens == nil {
+	it.tokOnce.Do(func() {
 		it.titleTokens = tokenize.Tokenize(it.Attrs["Title"])
-	}
+	})
 	return it.titleTokens
+}
+
+// Relabeled returns a copy of the item with TrueType replaced — the
+// analyst/manual-team relabeling operation. Item must not be copied by value
+// (it embeds the token-cache sync.Once), so this is the supported way to
+// derive a corrected record; the copy shares the attribute map (treated as
+// read-only everywhere) and re-tokenizes lazily on first use.
+func (it *Item) Relabeled(trueType string) *Item {
+	return &Item{
+		ID:       it.ID,
+		Attrs:    it.Attrs,
+		TrueType: trueType,
+		Vendor:   it.Vendor,
+		Epoch:    it.Epoch,
+	}
 }
 
 // MarshalJSON renders the item in the paper's Figure-1 JSON shape: a flat

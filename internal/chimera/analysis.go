@@ -82,9 +82,8 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 	for _, d := range flagged {
 		correctType := p.Analyst.Label(d.Item, types)
 		if correctType != d.Type {
-			fixed := *d.Item
-			fixed.TrueType = correctType // analyst's label becomes training truth
-			relabeled = append(relabeled, &fixed)
+			// Analyst's label becomes training truth.
+			relabeled = append(relabeled, d.Item.Relabeled(correctType))
 		}
 	}
 	rep.Relabeled = len(relabeled)

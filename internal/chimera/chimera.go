@@ -62,6 +62,11 @@ type Config struct {
 	MinPatternSupport int
 	// ImpactThreshold feeds the §5.3 impactful-rule tracker (default 200).
 	ImpactThreshold int
+	// PerItem forces ProcessBatch onto the item-at-a-time reference path
+	// (per-item index probes) instead of the default batch-inverted matcher.
+	// Useful for A/B-ing the two paths and as the devloop fallback; single
+	// item Classify always uses the per-item path.
+	PerItem bool
 	// Obs receives the pipeline's metrics (default obs.Default(), the
 	// process-wide registry the CLIs dump with -metrics).
 	Obs *obs.Registry
@@ -320,19 +325,36 @@ func (p *Pipeline) Classify(it *catalog.Item) Decision {
 	return p.classifyWith(it, p.snaps.Acquire())
 }
 
+// classifyWith runs one item through the Figure-2 stages with per-item rule
+// execution — the reference path. ProcessBatch reproduces the same decision
+// from batch-computed verdicts (gateDecision + voteDecision on the same
+// snapshot), which a pipeline test asserts.
 func (p *Pipeline) classifyWith(it *catalog.Item, snap *serve.Snapshot) Decision {
-	gateExec, ruleExec, filters := snap.Gate(), snap.Rules(), snap.Filters()
-	// Stage 1: Gate Keeper.
-	if gv := gateExec.Apply(it); len(gv.FinalTypes()) > 0 {
-		t := gv.FinalTypes()[0]
-		if fid, killed := filters[t]; killed {
-			return Decision{Item: it, Declined: true, Reason: "filtered:" + t + " by " + fid}
-		}
-		return Decision{Item: it, Type: t, Reason: "gatekeeper", Confidence: 1, Evidence: ruleIDs(gv.Evidence(t))}
+	if d, ok := p.gateDecision(it, snap, snap.Gate().Apply(it)); ok {
+		return d
 	}
+	return p.voteDecision(it, snap, snap.Rules().Apply(it))
+}
 
+// gateDecision settles stage 1 (Gate Keeper) from an already-computed gate
+// verdict. ok is false when the gate does not decide the item and the
+// classifier stages must run.
+func (p *Pipeline) gateDecision(it *catalog.Item, snap *serve.Snapshot, gv *core.Verdict) (Decision, bool) {
+	if len(gv.FinalTypes()) == 0 {
+		return Decision{}, false
+	}
+	t := gv.FinalTypes()[0]
+	if fid, killed := snap.Filters()[t]; killed {
+		return Decision{Item: it, Declined: true, Reason: "filtered:" + t + " by " + fid}, true
+	}
+	return Decision{Item: it, Type: t, Reason: "gatekeeper", Confidence: 1, Evidence: ruleIDs(gv.Evidence(t))}, true
+}
+
+// voteDecision runs stages 2–4 (classifiers, Voting Master, Filter) from an
+// already-computed classifier-rule verdict.
+func (p *Pipeline) voteDecision(it *catalog.Item, snap *serve.Snapshot, rv *core.Verdict) Decision {
+	filters := snap.Filters()
 	// Stage 2: classifiers.
-	rv := ruleExec.Apply(it)
 	ruleTypes := rv.FinalTypes()
 	ensPreds := p.Ensemble.Predict(it)
 
@@ -440,6 +462,31 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 	}
 	classify := span.Child("classify")
 	latency := p.Obs.Histogram(MetricClassifySecs, obs.LatencyBuckets)
+	var gvs, rvs []*core.Verdict
+	if !p.cfg.PerItem {
+		// Batch-inverted rule execution (core.BatchMatcher): gate the whole
+		// batch in one inverted join, then run the classifier stage only on
+		// the items the gate left undecided — mirroring the per-item
+		// short-circuit, so gate telemetry counts every item and classifier
+		// telemetry only the non-gated ones. The per-item loop below then
+		// assembles decisions from the precomputed verdicts.
+		gvs = snap.GateApplyBatch(items, workers)
+		pending := make([]*catalog.Item, 0, len(items))
+		pendIdx := make([]int, 0, len(items))
+		for i := range items {
+			if len(gvs[i].FinalTypes()) == 0 {
+				pending = append(pending, items[i])
+				pendIdx = append(pendIdx, i)
+			}
+		}
+		rvs = make([]*core.Verdict, len(items))
+		if len(pending) > 0 {
+			sub := snap.ApplyBatch(pending, workers)
+			for k, i := range pendIdx {
+				rvs[i] = sub[k]
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	chunk := 0
 	if workers > 0 {
@@ -459,7 +506,13 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				start := time.Now()
-				res.Decisions[i] = p.classifyWith(items[i], snap)
+				if p.cfg.PerItem {
+					res.Decisions[i] = p.classifyWith(items[i], snap)
+				} else if d, ok := p.gateDecision(items[i], snap, gvs[i]); ok {
+					res.Decisions[i] = d
+				} else {
+					res.Decisions[i] = p.voteDecision(items[i], snap, rvs[i])
+				}
 				latency.Observe(time.Since(start).Seconds())
 			}
 		}(lo, hi)

@@ -651,3 +651,46 @@ func TestPipelineRuleHealthFeedsMaintenance(t *testing.T) {
 		t.Fatal("rulebase status unchanged")
 	}
 }
+
+// TestBatchPathMatchesPerItemPath: ProcessBatch's default batch-inverted
+// rule execution must reproduce the item-at-a-time reference path
+// (Config.PerItem) decision-for-decision — type, decline flag, reason,
+// confidence and evidence.
+func TestBatchPathMatchesPerItemPath(t *testing.T) {
+	build := func(perItem bool) (*catalog.Catalog, *Pipeline) {
+		cat := catalog.New(catalog.Config{Seed: 93, NumTypes: 40})
+		p := New(Config{Seed: 93, PerItem: perItem, Obs: obs.NewRegistry()})
+		p.Train(cat.LabeledData(4000))
+		add := func(r *core.Rule, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Rules.Add(r, "ana"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		add(core.NewWhitelist("rings?", "rings"))
+		add(core.NewWhitelist("jeans?", "jeans"))
+		add(core.NewWhitelist("(motor | engine) oils?", "motor oil"))
+		add(core.NewBlacklist("olive oils?", "motor oil"))
+		add(core.NewAttrExists("isbn", "books"))
+		add(core.NewGate("(satchel | purse | tote)", "handbags"))
+		add(core.NewFilter("jeans"))
+		return cat, p
+	}
+	cat, batch := build(false)
+	_, perItem := build(true)
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 300, Epoch: 2})
+
+	rb := batch.ProcessBatch(items)
+	rp := perItem.ProcessBatch(items)
+	for i := range items {
+		db, dp := rb.Decisions[i], rp.Decisions[i]
+		if db.Type != dp.Type || db.Declined != dp.Declined || db.Reason != dp.Reason ||
+			db.Confidence != dp.Confidence || strings.Join(db.Evidence, ",") != strings.Join(dp.Evidence, ",") {
+			t.Fatalf("paths diverge on item %d (%q):\nbatch:    %+v\nper-item: %+v",
+				i, items[i].Title(), db, dp)
+		}
+	}
+}

@@ -46,9 +46,7 @@ func (p *Pipeline) OnboardDeclined(res *BatchResult, maxRules int) (*OnboardRepo
 		rep.Declined++
 		// The manual team labels the item (simulation: the analyst oracle).
 		label := p.Analyst.Label(d.Item, nil)
-		fixed := *d.Item
-		fixed.TrueType = label
-		labeled = append(labeled, &fixed)
+		labeled = append(labeled, d.Item.Relabeled(label))
 		rep.Labeled++
 		if !known[label] {
 			known[label] = true

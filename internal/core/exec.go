@@ -99,12 +99,19 @@ func (v *Verdict) Explain() string {
 			app("  + " + r.String() + "\n")
 		}
 	}
-	for t, rs := range v.Vetoed {
-		if len(v.Asserted[t]) == 0 {
-			continue
+	// Sort vetoed types before rendering: ranging over the map directly made
+	// the "vetoed by" sections appear in nondeterministic order across runs,
+	// which broke byte-comparison of explanations (audit logs, golden tests).
+	vetoed := make([]string, 0, len(v.Vetoed))
+	for t := range v.Vetoed {
+		if len(v.Asserted[t]) > 0 {
+			vetoed = append(vetoed, t)
 		}
+	}
+	sort.Strings(vetoed)
+	for _, t := range vetoed {
 		app("type " + t + " vetoed by:\n")
-		for _, r := range rs {
+		for _, r := range v.Vetoed[t] {
 			app("  - " + r.String() + "\n")
 		}
 	}
@@ -145,7 +152,9 @@ func (e *SequentialExecutor) Apply(it *catalog.Item) *Verdict {
 // verdicts identical to SequentialExecutor over the same rules (tested as a
 // property), typically evaluating orders of magnitude fewer rules.
 type IndexedExecutor struct {
-	idx *RuleIndex
+	idx    *RuleIndex
+	bmOnce sync.Once
+	bm     *BatchMatcher // lazily built by ApplyBatch
 }
 
 // NewIndexedExecutor builds the rule index and wraps it.
@@ -173,10 +182,41 @@ func (e *IndexedExecutor) Apply(it *catalog.Item) *Verdict {
 // Index exposes the underlying rule index (for instrumentation and stats).
 func (e *IndexedExecutor) Index() *RuleIndex { return e.idx }
 
+// ApplyBatch implements BatchApplier via a lazily-built BatchMatcher over the
+// executor's index. Verdicts are equivalent to per-item Apply (a tested
+// property).
+func (e *IndexedExecutor) ApplyBatch(items []*catalog.Item, workers int) []*Verdict {
+	e.bmOnce.Do(func() { e.bm = NewBatchMatcher(e.idx) })
+	return e.bm.MatchBatch(items, workers)
+}
+
+// BatchApplier is the set-oriented counterpart of Executor: evaluate a whole
+// batch at once, returning verdicts positionally aligned with items.
+// Implementations may amortize candidate generation across the batch (see
+// BatchMatcher) but must produce verdicts equivalent to applying the same
+// rules item-at-a-time.
+type BatchApplier interface {
+	ApplyBatch(items []*catalog.Item, workers int) []*Verdict
+}
+
 // ExecuteBatch applies exec to every item using workers goroutines — the
 // shared-nothing "cluster" substitute for the paper's Hadoop execution.
-// Results are positionally aligned with items. workers <= 1 runs inline.
+// Results are positionally aligned with items. Executors that implement
+// BatchApplier (IndexedExecutor, InstrumentedExecutor over an index) take the
+// batch-inverted path; everything else falls back to item-at-a-time, which
+// remains the reference implementation (see ExecuteBatchItemwise).
 func ExecuteBatch(exec Executor, items []*catalog.Item, workers int) []*Verdict {
+	if ba, ok := exec.(BatchApplier); ok {
+		return ba.ApplyBatch(items, workers)
+	}
+	return ExecuteBatchItemwise(exec, items, workers)
+}
+
+// ExecuteBatchItemwise applies exec to every item individually, sharded
+// across workers goroutines. workers <= 1 runs inline. This is the reference
+// path the batch-inverted matcher is property-tested against, and the one
+// used for executors with no batch implementation.
+func ExecuteBatchItemwise(exec Executor, items []*catalog.Item, workers int) []*Verdict {
 	out := make([]*Verdict, len(items))
 	if workers > len(items) {
 		workers = len(items) // no point spawning more goroutines than items

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/randx"
 )
 
@@ -70,6 +71,12 @@ func FuzzVerdictExplain(f *testing.F) {
 		}
 
 		explain := v.Explain()
+		// Explanations are audit artifacts: rendering the same verdict twice
+		// must produce byte-identical output (the vetoed-by sections used to
+		// come out in random map order).
+		if again := v.Explain(); again != explain {
+			t.Fatalf("Explain not deterministic across two calls:\n%q\nvs\n%q", explain, again)
+		}
 		if len(finals) == 0 {
 			if !strings.Contains(explain, "no type survives the rule verdict\n") {
 				t.Fatalf("empty verdict not explained: %q", explain)
@@ -86,9 +93,15 @@ func FuzzVerdictExplain(f *testing.F) {
 
 		// Executor equivalence on the fuzzed input: indexing may never change
 		// the verdict, only the cost of reaching it.
-		if iv := NewIndexedExecutor(rules).Apply(it); !VerdictsEqual(v, iv) {
+		idx := NewIndexedExecutor(rules)
+		if iv := idx.Apply(it); !VerdictsEqual(v, iv) {
 			t.Fatalf("indexed executor diverges on %q:\nseq: %s\nidx: %s",
 				title, v.Explain(), iv.Explain())
+		}
+		// Same for the batch-inverted matcher on a single-item batch.
+		if bv := idx.ApplyBatch([]*catalog.Item{it}, 1)[0]; !VerdictsEqual(v, bv) {
+			t.Fatalf("batch matcher diverges on %q:\nseq: %s\nbatch: %s",
+				title, v.Explain(), bv.Explain())
 		}
 	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,11 @@ type InstrumentedExecutor struct {
 	matched    *obs.Counter
 	latency    *obs.Histogram
 	seq        atomic.Int64 // Apply sequence number, drives latency sampling
+
+	reg    *obs.Registry // retained for the lazy batch matcher
+	labels []string
+	bmOnce sync.Once
+	bm     *BatchMatcher
 }
 
 // NewInstrumentedExecutor wraps inner, recording into reg (obs.Default()
@@ -88,6 +94,8 @@ func NewInstrumentedExecutor(inner Executor, reg *obs.Registry, labels ...string
 		candidates: reg.Counter(MetricExecCandidates, labels...),
 		matched:    reg.Counter(MetricExecMatched, labels...),
 		latency:    reg.Histogram(MetricExecLatency, obs.LatencyBuckets, labels...),
+		reg:        reg,
+		labels:     labels,
 	}
 	reg.Help(MetricRuleFired, "times each rule matched an item")
 	reg.Help(MetricRuleEffective, "times each rule's assertion survived the final verdict")
@@ -184,6 +192,23 @@ func (e *InstrumentedExecutor) Apply(it *catalog.Item) *Verdict {
 		e.latency.Observe(time.Since(start).Seconds())
 	}
 	return v
+}
+
+// ApplyBatch implements BatchApplier. When the wrapped executor is indexed
+// it evaluates through a lazily-built instrumented BatchMatcher, which
+// records the batch_* metric families and keeps feeding the same exec-level
+// and per-rule counter series Apply uses (the registry hands out one counter
+// per name+labels, so both paths accumulate into one view). Per-Apply
+// latency sampling does not apply on the batch path; batch cost is visible
+// to callers' own span/histogram instrumentation instead. Non-indexed
+// executors fall back to the item-at-a-time reference path through Apply,
+// preserving full telemetry.
+func (e *InstrumentedExecutor) ApplyBatch(items []*catalog.Item, workers int) []*Verdict {
+	if e.idx == nil {
+		return ExecuteBatchItemwise(e, items, workers)
+	}
+	e.bmOnce.Do(func() { e.bm = NewInstrumentedBatchMatcher(e.idx, e.reg, e.labels...) })
+	return e.bm.MatchBatch(items, workers)
 }
 
 func (e *InstrumentedExecutor) countFired(rs []*Rule) {

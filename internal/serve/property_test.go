@@ -71,13 +71,26 @@ func TestSnapshotVerdictEquivalenceProperty(t *testing.T) {
 		freshGate := core.NewIndexedExecutor(rb.Active(core.Gate))
 
 		items := cat.GenerateBatch(catalog.BatchSpec{Size: 80, Epoch: int(seed % 3)})
-		for _, it := range items {
+		// The batch-inverted path must agree with the fresh per-item
+		// executors too — the snapshot may never change what the system
+		// says, on either path.
+		batchRules := snap.ApplyBatch(items, 3)
+		batchGate := snap.GateApplyBatch(items, 3)
+		for i, it := range items {
 			if !core.VerdictsEqual(snap.Rules().Apply(it), freshRules.Apply(it)) {
 				t.Logf("seed %d: classifier verdicts diverge on %q", seed, it.Title())
 				return false
 			}
 			if !core.VerdictsEqual(snap.Gate().Apply(it), freshGate.Apply(it)) {
 				t.Logf("seed %d: gate verdicts diverge on %q", seed, it.Title())
+				return false
+			}
+			if !core.VerdictsEqual(batchRules[i], freshRules.Apply(it)) {
+				t.Logf("seed %d: batch classifier verdict diverges on %q", seed, it.Title())
+				return false
+			}
+			if !core.VerdictsEqual(batchGate[i], freshGate.Apply(it)) {
+				t.Logf("seed %d: batch gate verdict diverges on %q", seed, it.Title())
 				return false
 			}
 		}

@@ -40,6 +40,7 @@ type Snapshot struct {
 	activeIDs []string // sorted IDs of the active rules, for audit traceability
 	gate      core.Executor
 	rules     core.Executor
+	gateInst  *core.InstrumentedExecutor // same executor as gate
 	ruleInst  *core.InstrumentedExecutor // same executor as rules
 	filters   map[string]string          // target type -> filter rule ID
 }
@@ -71,14 +72,16 @@ func BuildSnapshot(rb *core.Rulebase, reg *obs.Registry) *Snapshot {
 	sort.Strings(ids)
 	ruleInst := core.NewInstrumentedExecutor(
 		core.NewIndexedExecutor(classRules), reg, "exec", "rules")
+	gateInst := core.NewInstrumentedExecutor(
+		core.NewIndexedExecutor(gateRules), reg, "exec", "gate")
 	return &Snapshot{
 		version:   version,
 		activeIDs: ids,
-		gate: core.NewInstrumentedExecutor(
-			core.NewIndexedExecutor(gateRules), reg, "exec", "gate"),
-		rules:    ruleInst,
-		ruleInst: ruleInst,
-		filters:  filters,
+		gate:      gateInst,
+		rules:     ruleInst,
+		gateInst:  gateInst,
+		ruleInst:  ruleInst,
+		filters:   filters,
 	}
 }
 
@@ -109,3 +112,18 @@ func (s *Snapshot) Filters() map[string]string { return s.filters }
 // Apply evaluates the classifier rules against one item — a convenience for
 // callers that serve verdicts directly rather than full pipeline decisions.
 func (s *Snapshot) Apply(it *catalog.Item) *core.Verdict { return s.rules.Apply(it) }
+
+// ApplyBatch evaluates the classifier rules against a whole batch through
+// the snapshot's batch-inverted matcher (see core.BatchMatcher), returning
+// verdicts positionally aligned with items and equivalent to per-item Apply.
+// This is the default high-throughput classification path; single-item Apply
+// remains the reference path.
+func (s *Snapshot) ApplyBatch(items []*catalog.Item, workers int) []*core.Verdict {
+	return s.ruleInst.ApplyBatch(items, workers)
+}
+
+// GateApplyBatch evaluates the Gate-Keeper rules against a whole batch,
+// batch-inverted, aligned with items.
+func (s *Snapshot) GateApplyBatch(items []*catalog.Item, workers int) []*core.Verdict {
+	return s.gateInst.ApplyBatch(items, workers)
+}

@@ -64,6 +64,11 @@ type (
 	Executor = core.Executor
 	// RuleIndex locates the rules likely to match an item.
 	RuleIndex = core.RuleIndex
+	// BatchMatcher evaluates a rule index against whole batches via the
+	// batch-inverted join (§5.3 set-oriented execution).
+	BatchMatcher = core.BatchMatcher
+	// BatchApplier is the batch-at-a-time counterpart of Executor.
+	BatchApplier = core.BatchApplier
 	// DataIndex locates the items a rule is likely to match.
 	DataIndex = core.DataIndex
 	// SubsumedPair, DuplicatePair, OverlapPair and StaleRule are the
@@ -114,7 +119,9 @@ var (
 	NewIndexedExecutorWithDF = core.NewIndexedExecutorWithDF
 	NewRuleIndex             = core.NewRuleIndex
 	NewDataIndex             = core.NewDataIndex
+	NewBatchMatcher          = core.NewBatchMatcher
 	ExecuteBatch             = core.ExecuteBatch
+	ExecuteBatchItemwise     = core.ExecuteBatchItemwise
 	TokenDF                  = core.TokenDF
 	CheckOrderIndependence   = core.CheckOrderIndependence
 	FindConflicts            = core.FindConflicts

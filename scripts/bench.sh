@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Classification-serving benchmark runner: the locked vs snapshot serving
+# pair and the per-item vs batch-inverted matching pair, emitted as a
+# machine-readable summary in BENCH_PR3.json (the bench trajectory artifact).
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s, e.g. "5x" or "3s")
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
+OUT=BENCH_PR3.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (benchtime=$BENCHTIME) =="
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    # Trailing columns come in value/unit pairs (ReportMetric output).
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1); gsub(/[^A-Za-z0-9_]/, "_", unit)
+        row = row sprintf(", \"%s\": %s", unit, $i)
+    }
+    row = row "}"
+    rows = rows (rows == "" ? "" : ",\n") row
+}
+END {
+    print "{"
+    print "  \"benchmarks\": ["
+    print rows
+    print "  ],"
+    batch = 0
+    if (ns["BenchmarkBatchClassifyBatchInverted"] > 0)
+        batch = ns["BenchmarkBatchClassifyPerItemIndexed"] / ns["BenchmarkBatchClassifyBatchInverted"]
+    snap = 0
+    if (ns["BenchmarkServeSnapshotUnderMutation"] > 0)
+        snap = ns["BenchmarkServeLockedUnderMutation"] / ns["BenchmarkServeSnapshotUnderMutation"]
+    printf "  \"batch_inverted_speedup_vs_per_item\": %.2f,\n", batch
+    printf "  \"snapshot_speedup_vs_locked\": %.2f\n", snap
+    print "}"
+}
+' "$RAW" > "$OUT"
+
+echo
+echo "wrote $OUT:"
+cat "$OUT"

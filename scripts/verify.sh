@@ -17,8 +17,8 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test -race (obs, core, serve) =="
-go test -race ./internal/obs ./internal/core ./internal/serve
+echo "== go test -race (obs, core, serve, catalog) =="
+go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog
 
 echo "== tier-1: go build ./... && go test ./... =="
 go build ./...
