@@ -516,6 +516,23 @@ func BenchmarkServeSnapshotUnderMutation(b *testing.B) {
 	})
 }
 
+// BenchmarkServeAcquireUnderMutation measures the old Pipeline.Classify hot
+// path on a started engine: Acquire reads the rulebase version under its
+// mutex on every call (and rebuilds inline when a mutation landed between
+// the async loop's swaps), so readers convoy with the mutation stream.
+// Pipeline.Classify/RuleHealth now use Current() when the engine is started;
+// EXPERIMENTS.md records the measured gap.
+func BenchmarkServeAcquireUnderMutation(b *testing.B) {
+	runServeBench(b, func(rb *core.Rulebase) func(*catalog.Item) *core.Verdict {
+		eng := serve.NewEngine(rb, serve.EngineOptions{Obs: obs.NewRegistry()})
+		eng.Start()
+		b.Cleanup(eng.Close)
+		return func(it *catalog.Item) *core.Verdict {
+			return eng.Acquire().Apply(it)
+		}
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Batch-classification benchmarks (per-item index probes vs batch-inverted
 // join) — the standard 5k-item/1k-rule batch; acceptance floor: the batch

@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,11 +37,22 @@ func main() {
 		serveFor  = flag.Duration("serve", 0, "after the batch loop, run the concurrent serving drill for this long (0 = off)")
 		serveCli  = flag.Int("serve-clients", 4, "concurrent catalog clients in the serving drill")
 		serveMut  = flag.Int("serve-mutations", 50, "rule mutations per second during the serving drill")
+		chaos     = flag.Bool("chaos", false, "inject deterministic seeded faults (handler latency, rebuild stalls and failures) during the serving drill, and shrink the pool to force transient overload")
+		deadline  = flag.Duration("deadline", 0, "per-batch caller deadline in the serving drill (0 = none)")
+		retry     = flag.Int("retry", 0, "max retry-with-backoff attempts for shed submissions in the serving drill (0 = no retries)")
 		perItem   = flag.Bool("per-item", false, "classify batches item-at-a-time (reference path) instead of the batch-inverted matcher")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be \"json\" or \"prom\", got %q\n", *metrics)
+		os.Exit(2)
+	}
+	if *serveFor <= 0 && (*chaos || *deadline > 0 || *retry > 0) {
+		fmt.Fprintln(os.Stderr, "-chaos, -deadline and -retry only apply to the serving drill; set -serve too")
+		os.Exit(2)
+	}
+	if *retry < 0 {
+		fmt.Fprintf(os.Stderr, "-retry must be >= 0, got %d\n", *retry)
 		os.Exit(2)
 	}
 
@@ -91,7 +103,15 @@ func main() {
 	fmt.Printf("precision history: %v\n", p.PrecisionHistory())
 
 	if *serveFor > 0 {
-		serveDrill(cat, p, *serveFor, *serveCli, *serveMut, *seed)
+		serveDrill(cat, p, drillOptions{
+			window:   *serveFor,
+			clients:  *serveCli,
+			mutPerS:  *serveMut,
+			seed:     *seed,
+			chaos:    *chaos,
+			deadline: *deadline,
+			retry:    *retry,
+		})
 	}
 
 	if *profile {
@@ -125,13 +145,31 @@ func main() {
 	}
 }
 
+// drillOptions bundles the serving-drill knobs.
+type drillOptions struct {
+	window   time.Duration
+	clients  int
+	mutPerS  int
+	seed     uint64
+	chaos    bool
+	deadline time.Duration
+	retry    int
+}
+
 // serveDrill exercises the snapshot-isolated serving layer under live
 // maintenance: clients submit catalog batches through the pipeline's Server
 // while a mutator toggles and re-weights rules at the requested rate. The
 // catalog generator is not concurrency-safe, so each client gets its own
 // pre-generated batch pool and cycles it (submitting strictly one batch at a
 // time, so no item is classified by two workers at once).
-func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients, mutPerSec int, seed uint64) {
+//
+// With -chaos the pool is undersized relative to the client fleet and a
+// seeded injector adds handler latency and rebuild stalls/failures, so
+// transient overload (sheds) actually occurs; -retry wraps each submission
+// in capped-backoff retries, turning those sheds into recovered requests;
+// -deadline bounds each submission end to end through queue and wait.
+func serveDrill(cat *repro.Catalog, p *repro.Pipeline, o drillOptions) {
+	clients := o.clients
 	if clients <= 0 {
 		clients = 1
 	}
@@ -144,14 +182,46 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients,
 		}
 	}
 
-	srv := p.NewServer(repro.ServeOptions{Workers: clients, QueueDepth: 4 * clients})
-	deadline := time.Now().Add(d)
+	var inj *repro.FaultInjector
+	sopts := repro.ServeOptions{Workers: clients, QueueDepth: 4 * clients}
+	if o.chaos {
+		inj = repro.NewFaultInjector(repro.FaultConfig{
+			Seed: o.seed + 99,
+			// Per-item: a 100-item batch picks up ~10ms of injected latency,
+			// enough to congest the halved pool without starving every
+			// deadline-bound client.
+			HandlerLatencyP: 0.20, HandlerLatency: 500 * time.Microsecond,
+			RebuildStallP: 0.10, RebuildStall: time.Millisecond,
+			RebuildErrorP: 0.05,
+		})
+		p.Snapshots().SetRebuildFault(inj.RebuildFault)
+		defer p.Snapshots().SetRebuildFault(nil)
+		// Undersize the pool so the fleet can actually overload it.
+		sopts.Workers = (clients + 1) / 2
+		sopts.QueueDepth = 2
+	}
+	ropts := repro.ResilienceOptions{Faults: inj}
+	if o.retry > 0 {
+		// Backoff spans a batch's service time (tens of ms), so a retried
+		// shed has a real chance of landing in a freed slot.
+		ropts.Retry = repro.ServeRetryOptions{
+			MaxAttempts: o.retry,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    80 * time.Millisecond,
+			Seed:        o.seed + 11,
+		}
+	}
+	rc := p.NewResilientClient(sopts, ropts)
+	srv := rc.Server()
+
+	deadline := time.Now().Add(o.window)
 	var (
 		mu       sync.Mutex
 		versions = map[uint64]bool{}
 		served   int
 		items    int
 		shed     int
+		expired  int
 	)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -159,16 +229,42 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients,
 		go func(c int) {
 			defer wg.Done()
 			for b := 0; time.Now().Before(deadline); b++ {
-				ticket, err := srv.Submit(pools[c][b%poolBatches])
+				ctx := context.Background()
+				cancel := func() {}
+				if o.deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, o.deadline)
+				}
+				var ticket *repro.ServeTicket
+				var err error
+				if o.retry > 0 {
+					ticket, err = rc.Retrier().Submit(ctx, pools[c][b%poolBatches])
+				} else {
+					ticket, err = srv.SubmitCtx(ctx, pools[c][b%poolBatches])
+				}
 				if err != nil {
+					cancel()
+					if errors.Is(err, repro.ErrServeShutdown) {
+						return
+					}
 					mu.Lock()
-					shed++
+					if errors.Is(err, repro.ErrServeQueueFull) {
+						shed++
+					} else {
+						expired++ // caller deadline spent while shed-retrying
+					}
 					mu.Unlock()
 					time.Sleep(time.Millisecond)
 					continue
 				}
-				out, snap, err := ticket.Wait()
+				out, snap, err := ticket.WaitContext(ctx)
+				cancel()
 				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+						mu.Lock()
+						expired++
+						mu.Unlock()
+						continue
+					}
 					return // declined during shutdown; the drill is over
 				}
 				mu.Lock()
@@ -187,10 +283,10 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients,
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		rng := repro.NewRand(seed + 7)
+		rng := repro.NewRand(o.seed + 7)
 		interval := time.Second
-		if mutPerSec > 0 {
-			interval = time.Second / time.Duration(mutPerSec)
+		if o.mutPerS > 0 {
+			interval = time.Second / time.Duration(o.mutPerS)
 		}
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
@@ -235,11 +331,28 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, d time.Duration, clients,
 
 	reg := p.Obs
 	fmt.Printf("\n== serve drill ==\n")
-	fmt.Printf("clients %d, mutation target %d/s, window %v\n", clients, mutPerSec, d)
+	fmt.Printf("clients %d, mutation target %d/s, window %v\n", clients, o.mutPerS, o.window)
 	fmt.Printf("served: %d batches (%d items), shed: %d, declined: %d items\n",
 		served, items, shed, reg.Counter(repro.MetricServeDeclined).Value())
 	fmt.Printf("mutations applied: %d, snapshot swaps: %d, versions observed: %d, final rulebase version: %d\n",
 		mutations, reg.Counter(repro.MetricServeSnapshotSwaps).Value(), len(versions), p.Rules.Version())
+	if o.deadline > 0 {
+		fmt.Printf("deadline %v: %d expired (%d recorded while queued)\n",
+			o.deadline, expired, reg.Counter(repro.MetricServeDeadlineExpired).Value())
+	}
+	if o.retry > 0 {
+		fmt.Printf("retry (max %d): %d attempts, %d sheds recovered on retry, %d gave up\n",
+			o.retry,
+			reg.Counter(repro.MetricServeRetryAttempts).Value(),
+			reg.Counter(repro.MetricServeRetrySuccess).Value(),
+			reg.Counter(repro.MetricServeRetryGiveUp).Value())
+	}
+	if inj != nil {
+		fmt.Printf("chaos: %d faults injected %v, rebuild errors: %d, degraded now: %v\n",
+			inj.Total(), inj.Counts(),
+			reg.Counter(repro.MetricServeBuildErrors).Value(),
+			p.Snapshots().Degraded())
+	}
 }
 
 func flaggedDecisions(res *repro.BatchResult) []repro.Decision {

@@ -134,4 +134,93 @@ func TestCLIServeDrill(t *testing.T) {
 	if strings.Contains(out, "served: 0 batches") {
 		t.Errorf("serve drill served nothing:\n%s", out)
 	}
+	for _, absent := range []string{"deadline ", "retry (max", "chaos:"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("resilience line %q printed without its flag:\n%s", absent, out)
+		}
+	}
+}
+
+// TestCLIChaosRetryDrill is the resilience drill end to end: under -chaos
+// the pool is undersized and faults are injected, so transient overload
+// occurs; -retry wraps submissions in backoff and the summary plus the
+// metric snapshot show the serve_retry_* accounting.
+func TestCLIChaosRetryDrill(t *testing.T) {
+	out, err := run(t, "-serve", "400ms", "-serve-clients", "6", "-chaos", "-retry", "5", "-metrics", "prom")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== serve drill ==",
+		"retry (max 5): ",
+		"sheds recovered on retry",
+		"gave up",
+		"chaos: ",
+		"faults injected",
+		"handler_latency",
+		// serve_retry_* counters in the metric snapshot (ticket acceptance).
+		"serve_retry_attempts_total",
+		"serve_retry_success_total",
+		"serve_retry_giveup_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "served: 0 batches") {
+		t.Errorf("chaos drill served nothing:\n%s", out)
+	}
+	if strings.Contains(out, "chaos: 0 faults injected") {
+		t.Errorf("chaos drill injected no faults:\n%s", out)
+	}
+	if strings.Contains(out, "retry (max 5): 0 attempts") {
+		t.Errorf("chaos drill never retried — no transient overload reached the retrier:\n%s", out)
+	}
+}
+
+// TestCLIDeadlineDrill: -deadline bounds each submission end to end and the
+// summary reports the expiry accounting line.
+func TestCLIDeadlineDrill(t *testing.T) {
+	out, err := run(t, "-serve", "300ms", "-serve-clients", "2", "-deadline", "250ms")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== serve drill ==",
+		"deadline 250ms: ",
+		"expired (",
+		"recorded while queued",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "served: 0 batches") {
+		t.Errorf("deadline drill served nothing — deadline too tight for the small world:\n%s", out)
+	}
+}
+
+// TestCLIResilienceFlagsRequireServe: the drill-only flags exit 2 with a
+// usage message when -serve is absent.
+func TestCLIResilienceFlagsRequireServe(t *testing.T) {
+	for _, flags := range [][]string{
+		{"-chaos"},
+		{"-deadline", "10ms"},
+		{"-retry", "3"},
+	} {
+		out, err := exec.Command(binPath, flags...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%v: want exit error, got %v\n%s", flags, err, out)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Fatalf("%v: exit code = %d, want 2\n%s", flags, code, out)
+		}
+		if !strings.Contains(string(out), "set -serve too") {
+			t.Errorf("%v: missing usage message:\n%s", flags, out)
+		}
+		if strings.Contains(string(out), "bootstrapping") {
+			t.Errorf("%v: pipeline ran despite bad flag combination:\n%s", flags, out)
+		}
+	}
 }

@@ -311,18 +311,32 @@ func (p *Pipeline) ManualQueue() int {
 	return p.manualQ
 }
 
+// snapshot returns the snapshot for the hot read paths: the lock-free
+// Current when the engine's async loop keeps it fresh (stale by at most the
+// debounce window — the documented serving contract), the version-checked
+// Acquire otherwise. Acquire reads the rulebase version under its mutex, so
+// calling it per request would put the rulebase lock back on the hot path
+// the serving layer exists to avoid (see the benchmark note in
+// EXPERIMENTS.md).
+func (p *Pipeline) snapshot() *serve.Snapshot {
+	if p.snaps.Started() {
+		return p.snaps.Current()
+	}
+	return p.snaps.Acquire()
+}
+
 // RuleHealth returns the telemetry-ranked health report for the classifier
 // rule executor (see core.InstrumentedExecutor.Health); minConfidence is
 // the low-precision floor, typically the business gate. Nil until a batch
 // has been processed. The report feeds core.PlanHealthActions /
 // Rulebase.ApplyHealthActions — the §4 loop from telemetry to maintenance.
 func (p *Pipeline) RuleHealth(minConfidence float64) []core.RuleHealth {
-	return p.snaps.Acquire().RuleTelemetry().Health(minConfidence)
+	return p.snapshot().RuleTelemetry().Health(minConfidence)
 }
 
 // Classify runs one item through the Figure-2 stages.
 func (p *Pipeline) Classify(it *catalog.Item) Decision {
-	return p.classifyWith(it, p.snaps.Acquire())
+	return p.classifyWith(it, p.snapshot())
 }
 
 // classifyWith runs one item through the Figure-2 stages with per-item rule
@@ -344,7 +358,7 @@ func (p *Pipeline) gateDecision(it *catalog.Item, snap *serve.Snapshot, gv *core
 		return Decision{}, false
 	}
 	t := gv.FinalTypes()[0]
-	if fid, killed := snap.Filters()[t]; killed {
+	if fid, killed := snap.FilterFor(t); killed {
 		return Decision{Item: it, Declined: true, Reason: "filtered:" + t + " by " + fid}, true
 	}
 	return Decision{Item: it, Type: t, Reason: "gatekeeper", Confidence: 1, Evidence: ruleIDs(gv.Evidence(t))}, true
@@ -353,7 +367,6 @@ func (p *Pipeline) gateDecision(it *catalog.Item, snap *serve.Snapshot, gv *core
 // voteDecision runs stages 2–4 (classifiers, Voting Master, Filter) from an
 // already-computed classifier-rule verdict.
 func (p *Pipeline) voteDecision(it *catalog.Item, snap *serve.Snapshot, rv *core.Verdict) Decision {
-	filters := snap.Filters()
 	// Stage 2: classifiers.
 	ruleTypes := rv.FinalTypes()
 	ensPreds := p.Ensemble.Predict(it)
@@ -399,7 +412,7 @@ func (p *Pipeline) voteDecision(it *catalog.Item, snap *serve.Snapshot, rv *core
 	}
 
 	// Stage 4: Filter.
-	if fid, killed := filters[best.t]; killed {
+	if fid, killed := snap.FilterFor(best.t); killed {
 		return Decision{Item: it, Declined: true, Reason: "filtered:" + best.t + " by " + fid}
 	}
 

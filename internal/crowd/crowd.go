@@ -18,38 +18,57 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/randx"
 )
 
 // ErrBudgetExhausted is returned once the crowd has no budget left.
 var ErrBudgetExhausted = errors.New("crowd: budget exhausted")
 
+// ErrNoAnswers is returned when every worker assigned to a question was a
+// no-show or timed out (fault injection): the question has no answer at all,
+// which callers must treat as an explicit failure, not a majority "no".
+var ErrNoAnswers = errors.New("crowd: no workers answered (timeouts/no-shows)")
+
+// Float returns a pointer to v — the literal-friendly way to set the
+// pointer-typed Config fields (Float(0) configures an adversarial
+// zero-accuracy or zero-spread crowd, distinct from nil = default).
+func Float(v float64) *float64 { return &v }
+
 // Config parameterizes a simulated crowd.
 type Config struct {
 	Seed       uint64
 	NumWorkers int // default 25
-	// MeanAccuracy is the mean per-worker probability of a correct answer
-	// (default 0.9); AccuracySpread is the half-width of the uniform skill
-	// prior around it (default 0.07).
-	MeanAccuracy   float64
-	AccuracySpread float64
+	// MeanAccuracy is the mean per-worker probability of a correct answer;
+	// AccuracySpread is the half-width of the uniform skill prior around it.
+	// Both are pointers so that an explicit zero is expressible (an
+	// adversarial always-wrong crowd, or a spread-free uniform one — the
+	// corners the fault-injection harness exercises); nil takes the defaults
+	// (0.9 and 0.07). Use Float to set them inline.
+	MeanAccuracy   *float64
+	AccuracySpread *float64
 	// Redundancy is how many workers answer each question; the majority
 	// wins. Default 3.
 	Redundancy int
 	// Budget is the total number of worker-answers available; 0 means
 	// unlimited.
 	Budget int
+	// Faults optionally injects worker timeouts (charged, no answer) and
+	// no-shows (no charge, no answer) into every question. Nil injects
+	// nothing and leaves the answer RNG stream untouched, so seeded runs
+	// without faults are byte-identical to before.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
 	if c.NumWorkers == 0 {
 		c.NumWorkers = 25
 	}
-	if c.MeanAccuracy == 0 {
-		c.MeanAccuracy = 0.9
+	if c.MeanAccuracy == nil {
+		c.MeanAccuracy = Float(0.9)
 	}
-	if c.AccuracySpread == 0 {
-		c.AccuracySpread = 0.07
+	if c.AccuracySpread == nil {
+		c.AccuracySpread = Float(0.07)
 	}
 	if c.Redundancy == 0 {
 		c.Redundancy = 3
@@ -77,12 +96,16 @@ func New(cfg Config) *Crowd {
 	ws := make([]worker, cfg.NumWorkers)
 	skill := rng.Split("skill")
 	for i := range ws {
-		acc := cfg.MeanAccuracy + (skill.Float64()*2-1)*cfg.AccuracySpread
+		acc := *cfg.MeanAccuracy + (skill.Float64()*2-1)**cfg.AccuracySpread
+		// Clamp to a valid probability only: an explicitly configured
+		// adversarial crowd (accuracy below 0.5, even 0) is a supported
+		// corner, not a misconfiguration. The default prior (0.9 ± 0.07)
+		// never touches either bound, so default behaviour is unchanged.
 		if acc > 0.999 {
 			acc = 0.999
 		}
-		if acc < 0.5 {
-			acc = 0.5
+		if acc < 0 {
+			acc = 0
 		}
 		ws[i] = worker{accuracy: acc}
 	}
@@ -122,37 +145,54 @@ func (c *Crowd) answer(truth bool) bool {
 	return !truth
 }
 
-// VerifyPair asks the crowd whether predicted is a correct product type for
-// the item (the §3.3 crowdsourced sample evaluation). It returns the
-// majority answer over Redundancy workers.
-func (c *Crowd) VerifyPair(it *catalog.Item, predicted string) (bool, error) {
-	if err := c.charge(c.cfg.Redundancy); err != nil {
-		return false, err
+// assign simulates handing one question to Redundancy workers under fault
+// injection: a no-show is neither charged nor answered, a timeout is charged
+// (the assignment cost is sunk) but yields no answer. Without an injector
+// every assignment answers and charges, and no fault RNG is drawn — seeded
+// fault-free runs are byte-identical to the pre-fault code.
+func (c *Crowd) assign() (answered, charged int) {
+	if c.cfg.Faults == nil {
+		return c.cfg.Redundancy, c.cfg.Redundancy
 	}
-	truth := it.TrueType == predicted
-	yes := 0
 	for i := 0; i < c.cfg.Redundancy; i++ {
-		if c.answer(truth) {
-			yes++
+		switch {
+		case c.cfg.Faults.CrowdNoShow():
+		case c.cfg.Faults.CrowdTimeout():
+			charged++
+		default:
+			answered++
+			charged++
 		}
 	}
-	return yes*2 > c.cfg.Redundancy, nil
+	return answered, charged
+}
+
+// VerifyPair asks the crowd whether predicted is a correct product type for
+// the item (the §3.3 crowdsourced sample evaluation). It returns the
+// majority answer over the workers that actually answered (ErrNoAnswers if
+// faults silenced all of them).
+func (c *Crowd) VerifyPair(it *catalog.Item, predicted string) (bool, error) {
+	return c.VerifyClaim(it.TrueType == predicted)
 }
 
 // VerifyClaim asks the crowd to verify an arbitrary boolean claim whose
 // ground truth the caller supplies (rule-verification tasks, EM pair
-// verification). Majority over Redundancy workers.
+// verification). Majority over the workers that answered.
 func (c *Crowd) VerifyClaim(truth bool) (bool, error) {
-	if err := c.charge(c.cfg.Redundancy); err != nil {
+	answered, charged := c.assign()
+	if err := c.charge(charged); err != nil {
 		return false, err
 	}
+	if answered == 0 {
+		return false, ErrNoAnswers
+	}
 	yes := 0
-	for i := 0; i < c.cfg.Redundancy; i++ {
+	for i := 0; i < answered; i++ {
 		if c.answer(truth) {
 			yes++
 		}
 	}
-	return yes*2 > c.cfg.Redundancy, nil
+	return yes*2 > answered, nil
 }
 
 // LabelItem asks the crowd to label an item with one of types. Each worker
@@ -162,11 +202,15 @@ func (c *Crowd) LabelItem(it *catalog.Item, types []string) (string, error) {
 	if len(types) == 0 {
 		return "", errors.New("crowd: LabelItem with no candidate types")
 	}
-	if err := c.charge(c.cfg.Redundancy); err != nil {
+	answered, charged := c.assign()
+	if err := c.charge(charged); err != nil {
 		return "", err
 	}
+	if answered == 0 {
+		return "", ErrNoAnswers
+	}
 	votes := map[string]int{}
-	for i := 0; i < c.cfg.Redundancy; i++ {
+	for i := 0; i < answered; i++ {
 		w := c.workers[c.rng.Intn(len(c.workers))]
 		if c.rng.Bool(w.accuracy) {
 			votes[it.TrueType]++

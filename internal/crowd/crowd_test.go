@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/randx"
 )
 
@@ -53,7 +54,7 @@ func TestVerifyPairRejectsWrong(t *testing.T) {
 
 func TestCrowdIsImperfect(t *testing.T) {
 	items := testItems(t, 2000)
-	c := New(Config{Seed: 3, MeanAccuracy: 0.75, AccuracySpread: 0.05})
+	c := New(Config{Seed: 3, MeanAccuracy: Float(0.75), AccuracySpread: Float(0.05)})
 	wrong := 0
 	for _, it := range items {
 		ok, _ := c.VerifyPair(it, it.TrueType)
@@ -200,6 +201,86 @@ func TestAnalystLabel(t *testing.T) {
 	if correct < 180 {
 		t.Fatalf("analyst labeling too weak: %d/200", correct)
 	}
+}
+
+// TestAdversarialZeroAccuracyCrowd: the pointer-typed config makes an
+// explicit zero distinguishable from "unset" — a MeanAccuracy=0, Spread=0
+// crowd must answer every true claim wrong, not be silently promoted to the
+// 0.9 default (the old float64-zero sentinel bug).
+func TestAdversarialZeroAccuracyCrowd(t *testing.T) {
+	c := New(Config{Seed: 13, MeanAccuracy: Float(0), AccuracySpread: Float(0)})
+	for i := 0; i < 50; i++ {
+		ok, err := c.VerifyClaim(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("a zero-accuracy crowd verified a true claim")
+		}
+	}
+}
+
+// TestZeroSpreadCrowd: Float(0) spread pins every worker to exactly the mean
+// (here 1.0 after clamping to 0.999 — all must agree on truth).
+func TestZeroSpreadCrowd(t *testing.T) {
+	c := New(Config{Seed: 14, MeanAccuracy: Float(0.999), AccuracySpread: Float(0)})
+	for i := 0; i < 50; i++ {
+		if ok, _ := c.VerifyClaim(true); !ok {
+			t.Fatal("a 0.999-accuracy zero-spread crowd reached a wrong majority")
+		}
+	}
+}
+
+// TestCrowdNoShowsAndTimeouts: with injected no-shows and timeouts, charges
+// reflect only assignments that were picked up, and a fully silenced
+// question fails with ErrNoAnswers instead of fabricating a majority.
+func TestCrowdNoShowsAndTimeouts(t *testing.T) {
+	// Every assignment times out: charged in full, but no answers.
+	inj := faultinject.New(faultinject.Config{Seed: 1, CrowdTimeoutP: 1})
+	c := New(Config{Seed: 15, Faults: inj})
+	if _, err := c.VerifyClaim(true); !errors.Is(err, ErrNoAnswers) {
+		t.Fatalf("all-timeout question: want ErrNoAnswers, got %v", err)
+	}
+	if c.Spent() != 3 {
+		t.Fatalf("timeouts must still charge: spent=%d, want 3", c.Spent())
+	}
+
+	// Every assignment is a no-show: no answers and no charge.
+	inj = faultinject.New(faultinject.Config{Seed: 2, CrowdNoShowP: 1})
+	c = New(Config{Seed: 16, Faults: inj})
+	if _, err := c.VerifyClaim(true); !errors.Is(err, ErrNoAnswers) {
+		t.Fatalf("all-no-show question: want ErrNoAnswers, got %v", err)
+	}
+	if c.Spent() != 0 {
+		t.Fatalf("no-shows must not charge: spent=%d, want 0", c.Spent())
+	}
+	if n := inj.Counts()["crowd_noshow"]; n != 3 {
+		t.Fatalf("injector counted %d no-shows, want 3", n)
+	}
+
+	// Partial faults: majorities still form over the answering workers.
+	inj = faultinject.New(faultinject.Config{Seed: 3, CrowdNoShowP: 0.3, CrowdTimeoutP: 0.3})
+	c = New(Config{Seed: 17, Redundancy: 5})
+	c.cfg.Faults = inj
+	agree, failed := 0, 0
+	for i := 0; i < 200; i++ {
+		ok, err := c.VerifyClaim(true)
+		switch {
+		case errors.Is(err, ErrNoAnswers):
+			failed++
+		case err != nil:
+			t.Fatal(err)
+		case ok:
+			agree++
+		}
+	}
+	if agree < 150 {
+		t.Fatalf("faulty crowd agreed only %d/200 on true claims", agree)
+	}
+	if inj.Total() == 0 {
+		t.Fatal("partial fault config injected nothing")
+	}
+	_ = failed // any count is legal; the point is no fabricated majorities
 }
 
 func TestCrowdDeterminism(t *testing.T) {

@@ -26,6 +26,22 @@ const (
 	MetricItems   = "serve_items_total"
 	// MetricDeclined counts items declined during a shutdown drain.
 	MetricDeclined = "serve_declined_total"
+	// MetricDeadlineExpired counts requests whose submit-context deadline
+	// expired while they were still queued (resolved with the ctx error).
+	MetricDeadlineExpired = "serve_deadline_expired_total"
+	// MetricRetryAttempts / MetricRetrySuccess / MetricRetryGiveUp are the
+	// Retrier's accounting: backoff re-submissions after a shed, the sheds
+	// that eventually went through, and the ones the retrier gave up on
+	// (attempts or budget exhausted, or the caller's context expired).
+	MetricRetryAttempts = "serve_retry_attempts_total"
+	MetricRetrySuccess  = "serve_retry_success_total"
+	MetricRetryGiveUp   = "serve_retry_giveup_total"
+	// MetricBuildErrors counts failed snapshot rebuilds (injected or real);
+	// the engine keeps serving the last good snapshot and reports Degraded.
+	MetricBuildErrors = "serve_snapshot_build_errors_total"
+	// MetricDegraded is 1 while the engine is serving a stale snapshot after
+	// a failed rebuild, 0 once a rebuild succeeds again.
+	MetricDegraded = "serve_degraded"
 )
 
 // DefaultDebounce is the rebuild debounce: after a mutation wakes the async
@@ -61,10 +77,19 @@ type Engine struct {
 	cur     atomic.Pointer[Snapshot]
 	buildMu sync.Mutex // single-flight rebuilds
 
-	swaps    *obs.Counter
-	buildSec *obs.Histogram
-	verGauge *obs.Gauge
+	// rebuildFault is the optional fault-injection hook consulted before
+	// every rebuild (see SetRebuildFault); degraded is set while the engine
+	// serves a stale snapshot because the last rebuild failed.
+	rebuildFault atomic.Pointer[RebuildFaultHook]
+	degraded     atomic.Bool
 
+	swaps     *obs.Counter
+	buildSec  *obs.Histogram
+	verGauge  *obs.Gauge
+	buildErrs *obs.Counter
+	degGauge  *obs.Gauge
+
+	started   atomic.Bool
 	startOnce sync.Once
 	closeOnce sync.Once
 	kick      chan struct{}
@@ -72,6 +97,11 @@ type Engine struct {
 	wg        sync.WaitGroup
 	unsub     func()
 }
+
+// RebuildFaultHook is consulted before each snapshot rebuild: a non-zero
+// stall delays the build (simulating a slow rulebase read), a non-nil error
+// fails it. faultinject.Injector.RebuildFault matches this signature.
+type RebuildFaultHook func() (stall time.Duration, err error)
 
 // NewEngine builds the initial snapshot of rb and returns a passive engine:
 // Acquire serves version-cached synchronous rebuilds until Start launches
@@ -87,17 +117,21 @@ func NewEngine(rb *core.Rulebase, opts EngineOptions) *Engine {
 		debounce = DefaultDebounce
 	}
 	e := &Engine{
-		rb:       rb,
-		reg:      reg,
-		debounce: debounce,
-		swaps:    reg.Counter(MetricSnapshotSwaps),
-		buildSec: reg.Histogram(MetricSnapshotBuild, obs.LatencyBuckets),
-		verGauge: reg.Gauge(MetricSnapshotVersion),
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		rb:        rb,
+		reg:       reg,
+		debounce:  debounce,
+		swaps:     reg.Counter(MetricSnapshotSwaps),
+		buildSec:  reg.Histogram(MetricSnapshotBuild, obs.LatencyBuckets),
+		verGauge:  reg.Gauge(MetricSnapshotVersion),
+		buildErrs: reg.Counter(MetricBuildErrors),
+		degGauge:  reg.Gauge(MetricDegraded),
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	reg.Help(MetricSnapshotSwaps, "snapshot publishes (rebuild-and-swap)")
 	reg.Help(MetricSnapshotVersion, "rulebase version of the published snapshot")
+	reg.Help(MetricBuildErrors, "failed snapshot rebuilds (stale snapshot kept)")
+	reg.Help(MetricDegraded, "1 while serving a stale snapshot after a failed rebuild")
 	start := time.Now()
 	e.publish(BuildSnapshot(rb, reg), time.Since(start))
 	return e
@@ -126,7 +160,11 @@ func (e *Engine) Acquire() *Snapshot {
 }
 
 // rebuild builds and publishes a fresh snapshot unless another goroutine
-// already caught the engine up while we waited for the build lock.
+// already caught the engine up while we waited for the build lock. A
+// rebuild-fault hook may stall the build or fail it outright; on failure the
+// engine counts the error, flags itself degraded, and keeps serving the last
+// good snapshot — callers always get a valid (possibly stale) snapshot, never
+// nil and never a torn one.
 func (e *Engine) rebuild() *Snapshot {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
@@ -134,10 +172,52 @@ func (e *Engine) rebuild() *Snapshot {
 		return s
 	}
 	start := time.Now()
+	if hook := e.rebuildFault.Load(); hook != nil {
+		stall, err := (*hook)()
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if err != nil {
+			e.buildErrs.Inc()
+			e.setDegraded(true)
+			return e.cur.Load() // stale but valid: the resilience contract
+		}
+	}
 	snap := BuildSnapshot(e.rb, e.reg)
 	e.publish(snap, time.Since(start))
+	e.setDegraded(false)
 	return snap
 }
+
+func (e *Engine) setDegraded(v bool) {
+	if e.degraded.Swap(v) != v {
+		g := 0.0
+		if v {
+			g = 1
+		}
+		e.degGauge.Set(g)
+	}
+}
+
+// Degraded reports whether the last rebuild failed and the engine is serving
+// a stale snapshot. A degraded engine recovers on the next successful
+// rebuild (the async loop keeps retrying on every mutation kick).
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// SetRebuildFault installs (or clears, with nil) the rebuild fault-injection
+// hook. Safe to call concurrently with serving; in production it stays nil.
+func (e *Engine) SetRebuildFault(hook RebuildFaultHook) {
+	if hook == nil {
+		e.rebuildFault.Store(nil)
+		return
+	}
+	e.rebuildFault.Store(&hook)
+}
+
+// Started reports whether the async rebuild loop is running — the signal for
+// hot read paths to prefer the lock-free Current over the version-checked
+// Acquire (which reads the rulebase version under its mutex).
+func (e *Engine) Started() bool { return e.started.Load() }
 
 func (e *Engine) publish(snap *Snapshot, buildTime time.Duration) {
 	e.cur.Store(snap)
@@ -152,6 +232,7 @@ func (e *Engine) publish(snap *Snapshot, buildTime time.Duration) {
 // Start, readers on Current never block on maintenance.
 func (e *Engine) Start() {
 	e.startOnce.Do(func() {
+		e.started.Store(true)
 		e.unsub = e.rb.Subscribe(func(uint64) {
 			select {
 			case e.kick <- struct{}{}:
@@ -191,6 +272,7 @@ func (e *Engine) loop() {
 // snapshot stays valid; Acquire keeps working in passive mode.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		e.started.Store(false) // hot paths fall back to version-checked Acquire
 		if e.unsub != nil {
 			e.unsub()
 		}

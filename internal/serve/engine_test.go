@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -70,6 +71,74 @@ func TestAcquireCachesByVersion(t *testing.T) {
 	}
 	if s4 := eng.Acquire(); s4 != s3 {
 		t.Fatal("Acquire rebuilt again for an unchanged rulebase")
+	}
+}
+
+// TestEngineStartedFlag: Started flips on Start and back off on Close — the
+// signal hot read paths use to choose Current over Acquire.
+func TestEngineStartedFlag(t *testing.T) {
+	eng, _ := testEngine(t)
+	if eng.Started() {
+		t.Fatal("passive engine reports started")
+	}
+	eng.Start()
+	if !eng.Started() {
+		t.Fatal("started engine reports passive")
+	}
+	eng.Close()
+	if eng.Started() {
+		t.Fatal("closed engine still reports started")
+	}
+}
+
+// TestEngineRebuildFaultKeepsStaleSnapshot: an injected rebuild failure must
+// not tear or nil the published snapshot — the engine keeps serving the last
+// good one, flags itself degraded and counts the error; clearing the fault
+// recovers on the next rebuild.
+func TestEngineRebuildFaultKeepsStaleSnapshot(t *testing.T) {
+	eng, reg := testEngine(t)
+	before := eng.Acquire()
+
+	fail := true
+	injected := errors.New("injected rebuild failure")
+	eng.SetRebuildFault(func() (time.Duration, error) {
+		if fail {
+			return 0, injected
+		}
+		return 0, nil
+	})
+
+	r, err := core.NewWhitelist("sprocket", "gizmo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rulebase().Add(r, "test"); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Acquire()
+	if got != before {
+		t.Fatal("failed rebuild should return the stale-but-valid snapshot")
+	}
+	if !eng.Degraded() {
+		t.Fatal("engine not degraded after a failed rebuild")
+	}
+	if n := reg.Counter(MetricBuildErrors).Value(); n != 1 {
+		t.Fatalf("build-error counter = %d, want 1", n)
+	}
+	if v := reg.Gauge(MetricDegraded).Value(); v != 1 {
+		t.Fatalf("degraded gauge = %v, want 1", v)
+	}
+
+	fail = false
+	got = eng.Acquire()
+	if got == before || got.Version() != eng.Rulebase().Version() {
+		t.Fatalf("engine did not recover: version %d, rulebase %d", got.Version(), eng.Rulebase().Version())
+	}
+	if eng.Degraded() {
+		t.Fatal("engine still degraded after a successful rebuild")
+	}
+	if v := reg.Gauge(MetricDegraded).Value(); v != 0 {
+		t.Fatalf("degraded gauge = %v, want 0", v)
 	}
 }
 

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/randx"
+)
+
+// ErrRetryBudget is returned by Retrier.Submit when the retrier's shared
+// retry budget is exhausted: the submit was shed and no backoff attempts
+// remain. It wraps ErrQueueFull so existing shed handling still matches.
+var ErrRetryBudget = &retryBudgetError{}
+
+type retryBudgetError struct{}
+
+func (*retryBudgetError) Error() string { return "serve: retry budget exhausted, request shed" }
+func (*retryBudgetError) Unwrap() error { return ErrQueueFull }
+
+// RetryOptions parameterizes a Retrier. Zero values take defaults.
+type RetryOptions struct {
+	// MaxAttempts bounds the re-submissions after the initial shed
+	// (default 4; the initial Submit is not counted).
+	MaxAttempts int
+	// BaseDelay is the first backoff ceiling; each attempt doubles it up to
+	// MaxDelay (defaults 1ms / 50ms). The actual sleep is drawn uniformly
+	// from [0, ceiling] — "full jitter", which decorrelates retry storms: a
+	// thundering herd that was shed together does not retry together.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget caps the total re-submissions across the retrier's lifetime
+	// (0 = unlimited). Overload that persists long enough to drain the
+	// budget degrades every later shed to an immediate ErrRetryBudget —
+	// retries are for transient overload, not a substitute for capacity.
+	Budget int64
+	// Seed makes the jitter deterministic for tests and chaos runs.
+	Seed uint64
+	// Sleep replaces the inter-attempt sleep (tests; default respects ctx
+	// cancellation while sleeping).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retrier wraps a Server's SubmitCtx with capped exponential backoff and
+// full jitter for ErrQueueFull sheds. Every other error (ErrShutdown,
+// context expiry) is returned immediately — backing off cannot fix those.
+// Attempts, eventual successes and give-ups are recorded in the server's
+// registry (serve_retry_*), so a drill can show shed requests succeeding on
+// retry rather than asserting it.
+type Retrier[R any] struct {
+	srv  *Server[R]
+	opts RetryOptions
+
+	mu     sync.Mutex
+	rng    *randx.Rand
+	budget int64 // remaining; -1 = unlimited
+
+	attempts *obs.Counter
+	success  *obs.Counter
+	giveUp   *obs.Counter
+}
+
+// NewRetrier builds a Retrier over srv.
+func NewRetrier[R any](srv *Server[R], opts RetryOptions) *Retrier[R] {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 50 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = ctxSleep
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = -1
+	}
+	reg := srv.Registry()
+	r := &Retrier[R]{
+		srv:      srv,
+		opts:     opts,
+		rng:      randx.New(opts.Seed).Split("retry"),
+		budget:   budget,
+		attempts: reg.Counter(MetricRetryAttempts),
+		success:  reg.Counter(MetricRetrySuccess),
+		giveUp:   reg.Counter(MetricRetryGiveUp),
+	}
+	reg.Help(MetricRetryAttempts, "backoff re-submissions after a queue-full shed")
+	reg.Help(MetricRetrySuccess, "shed requests that succeeded on a retry")
+	reg.Help(MetricRetryGiveUp, "shed requests abandoned (attempts/budget exhausted or ctx expired)")
+	return r
+}
+
+// Budget returns the remaining retry budget (-1 = unlimited).
+func (r *Retrier[R]) Budget() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budget
+}
+
+// takeBudget reserves one retry from the shared budget.
+func (r *Retrier[R]) takeBudget() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.budget == 0 {
+		return false
+	}
+	if r.budget > 0 {
+		r.budget--
+	}
+	return true
+}
+
+// jitter draws the full-jitter sleep for the given attempt (0-based).
+func (r *Retrier[R]) jitter(attempt int) time.Duration {
+	ceiling := r.opts.BaseDelay << uint(attempt)
+	if ceiling <= 0 || ceiling > r.opts.MaxDelay {
+		ceiling = r.opts.MaxDelay
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(f * float64(ceiling))
+}
+
+// Submit submits items through the wrapped server, retrying ErrQueueFull
+// sheds with capped exponential backoff + full jitter until the submit is
+// accepted, attempts or budget run out (ErrRetryBudget / ErrQueueFull —
+// both match errors.Is(err, ErrQueueFull)), or ctx expires (ctx.Err()).
+func (r *Retrier[R]) Submit(ctx context.Context, items []*catalog.Item) (*Ticket[R], error) {
+	ticket, err := r.srv.SubmitCtx(ctx, items)
+	if err == nil || !errors.Is(err, ErrQueueFull) {
+		return ticket, err
+	}
+	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
+		if !r.takeBudget() {
+			r.giveUp.Inc()
+			return nil, ErrRetryBudget
+		}
+		if err := r.opts.Sleep(ctx, r.jitter(attempt)); err != nil {
+			r.giveUp.Inc()
+			return nil, err
+		}
+		r.attempts.Inc()
+		ticket, err = r.srv.SubmitCtx(ctx, items)
+		if err == nil {
+			r.success.Inc()
+			return ticket, nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return nil, err
+		}
+	}
+	r.giveUp.Inc()
+	return nil, err
+}
+
+// ctxSleep sleeps for d or until ctx is done, returning ctx.Err() in the
+// latter case. A zero d still yields the scheduler via the timer path only
+// when needed.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// blockedServer is a 1-worker server whose worker signals each pick-up on
+// started and then parks until release() — the harness for deterministic
+// overload: saturate() puts one request in flight and fills the queue.
+type blockedServer struct {
+	srv     *Server[string]
+	started chan struct{}
+	release func()
+}
+
+func retryServer(t *testing.T, queueDepth int) *blockedServer {
+	t.Helper()
+	eng, reg := testEngine(t)
+	rel := make(chan struct{})
+	b := &blockedServer{started: make(chan struct{}, 64)}
+	b.srv = NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		b.started <- struct{}{}
+		<-rel
+		return it.ID
+	}, ServerOptions{Workers: 1, QueueDepth: queueDepth, Obs: reg})
+	var once sync.Once
+	b.release = func() { once.Do(func() { close(rel) }) }
+	// Cleanup must release first: Drain waits on the parked worker, and a
+	// test that t.Fatal-ed before releasing would otherwise hang forever.
+	t.Cleanup(func() { b.release(); b.srv.Drain() })
+	return b
+}
+
+// saturate submits one in-flight request (waiting for its pick-up) and then
+// fills the queue to capacity, so the next Submit must shed.
+func (b *blockedServer) saturate(t *testing.T) {
+	t.Helper()
+	if _, err := b.srv.Submit(oneItem("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	for i := 0; i < b.srv.QueueCapacity(); i++ {
+		if _, err := b.srv.Submit(oneItem(fmt.Sprintf("queued-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetrierSucceedsAfterTransientOverload: a submit shed on a full queue
+// must go through on a later backoff attempt once capacity frees up — the
+// retry-success metric records it.
+func TestRetrierSucceedsAfterTransientOverload(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	// Sleep hook: before the 2nd attempt, free the server.
+	attempt := 0
+	r := NewRetrier(b.srv, RetryOptions{
+		MaxAttempts: 5, Seed: 1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			attempt++
+			if attempt == 2 {
+				b.release()
+				// Wait until the queued request is picked up, so a slot is
+				// provably free before the next attempt.
+				<-b.started
+			}
+			return nil
+		},
+	})
+	tk, err := r.Submit(context.Background(), oneItem("retried"))
+	if err != nil {
+		t.Fatalf("retried submit failed: %v", err)
+	}
+	if out, _, err := tk.Wait(); err != nil || out[0] != "retried" {
+		t.Fatalf("retried ticket: %v, %v", out, err)
+	}
+	reg := b.srv.Registry()
+	if n := reg.Counter(MetricRetrySuccess).Value(); n != 1 {
+		t.Fatalf("retry-success counter = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricRetryAttempts).Value(); n < 2 {
+		t.Fatalf("retry-attempts counter = %d, want >= 2", n)
+	}
+}
+
+// TestRetrierGivesUpAfterMaxAttempts: persistent overload ends in
+// ErrQueueFull after exactly MaxAttempts re-submissions, tallied as a
+// give-up.
+func TestRetrierGivesUpAfterMaxAttempts(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	slept := 0
+	r := NewRetrier(b.srv, RetryOptions{
+		MaxAttempts: 3, Seed: 2,
+		Sleep: func(ctx context.Context, d time.Duration) error { slept++; return nil },
+	})
+	_, err := r.Submit(context.Background(), oneItem("doomed"))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if slept != 3 {
+		t.Fatalf("slept %d times, want 3", slept)
+	}
+	reg := b.srv.Registry()
+	if n := reg.Counter(MetricRetryGiveUp).Value(); n != 1 {
+		t.Fatalf("give-up counter = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricRetryAttempts).Value(); n != 3 {
+		t.Fatalf("attempts counter = %d, want 3", n)
+	}
+}
+
+// TestRetrierBudget: the lifetime budget is shared across submits; once
+// drained, a shed degrades to an immediate ErrRetryBudget (which still
+// matches ErrQueueFull for shed handling).
+func TestRetrierBudget(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	r := NewRetrier(b.srv, RetryOptions{
+		MaxAttempts: 2, Budget: 3, Seed: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error { return nil },
+	})
+	// First shed burns 2 budget (both attempts fail), second burns the last.
+	if _, err := r.Submit(context.Background(), oneItem("a")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("first: %v", err)
+	}
+	if _, err := r.Submit(context.Background(), oneItem("b")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second: %v", err)
+	}
+	if got := r.Budget(); got != 0 {
+		t.Fatalf("budget = %d, want 0", got)
+	}
+	_, err := r.Submit(context.Background(), oneItem("c"))
+	if !errors.Is(err, ErrQueueFull) || err.Error() != ErrRetryBudget.Error() {
+		t.Fatalf("post-budget: got %v, want ErrRetryBudget", err)
+	}
+}
+
+// TestRetrierRespectsContext: an expiring caller context stops the backoff
+// loop with ctx.Err(), not ErrQueueFull.
+func TestRetrierRespectsContext(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	r := NewRetrier(b.srv, RetryOptions{MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, Seed: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := r.Submit(ctx, oneItem("impatient")); err != context.DeadlineExceeded {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRetrierJitterIsCappedAndDeterministic: backoff draws stay within
+// [0, min(Base<<attempt, MaxDelay)] and two same-seeded retriers draw the
+// same sleeps.
+func TestRetrierJitterIsCappedAndDeterministic(t *testing.T) {
+	mk := func() *Retrier[string] {
+		b := retryServer(t, 1)
+		b.release()
+		return NewRetrier(b.srv, RetryOptions{
+			BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 9})
+	}
+	a, b := mk(), mk()
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := a.jitter(attempt), b.jitter(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: jitter diverged (%v vs %v)", attempt, da, db)
+		}
+		ceiling := time.Millisecond << uint(attempt)
+		if ceiling > 8*time.Millisecond || ceiling <= 0 {
+			ceiling = 8 * time.Millisecond
+		}
+		if da < 0 || da > ceiling {
+			t.Fatalf("attempt %d: jitter %v outside [0, %v]", attempt, da, ceiling)
+		}
+	}
+}

@@ -41,6 +41,7 @@ type ServerOptions struct {
 // request is one submitted batch and its resolution slot.
 type request[R any] struct {
 	items []*catalog.Item
+	ctx   context.Context // caller's context; checked at worker pick-up
 	out   []R
 	snap  *Snapshot
 	err   error
@@ -50,27 +51,45 @@ type request[R any] struct {
 // Ticket is the caller's handle on a submitted request.
 type Ticket[R any] struct{ req *request[R] }
 
-// Done is closed when the request resolved (served or declined).
+// Done is closed when the request resolved (served, declined, or expired).
 func (t *Ticket[R]) Done() <-chan struct{} { return t.req.done }
 
 // Wait blocks until the request resolves. On success it returns the per-item
 // results and the snapshot the whole batch was classified under (its Version
 // ties every verdict to exactly one rulebase state). On a drain decline it
-// returns (nil, nil, ErrDeclined).
+// returns (nil, nil, ErrDeclined); on a submit-context deadline that expired
+// while the request was still queued, (nil, nil, ctx.Err()).
 func (t *Ticket[R]) Wait() ([]R, *Snapshot, error) {
 	<-t.req.done
 	return t.req.out, t.req.snap, t.req.err
 }
 
+// WaitContext is Wait with a caller deadline on the waiting itself: it
+// returns ctx.Err() if ctx expires before the request resolves. The request
+// is NOT cancelled — it stays queued and its ticket still resolves exactly
+// once; only this wait is abandoned, and Wait/WaitContext may be called
+// again to re-attach.
+func (t *Ticket[R]) WaitContext(ctx context.Context) ([]R, *Snapshot, error) {
+	select {
+	case <-t.req.done:
+		return t.req.out, t.req.snap, t.req.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
 // Server is the concurrent serving frontend: a bounded queue feeding a fixed
 // worker pool, where each request is processed entirely against the snapshot
-// current at pick-up time. Backpressure is explicit (ErrQueueFull), shutdown
-// is graceful (queued work completes, or is explicitly declined when the
-// drain deadline expires), and queue depth / sheds / served counts are
-// recorded in obs.
+// current at pick-up time. Backpressure is explicit (ErrQueueFull), caller
+// deadlines propagate end-to-end (SubmitCtx / Ticket.WaitContext — a request
+// whose context expired while queued resolves with the context error instead
+// of burning a worker), shutdown is graceful (queued work completes, or is
+// explicitly declined when the drain deadline expires), and queue depth /
+// sheds / served / expired counts are recorded in obs.
 type Server[R any] struct {
 	eng *Engine
 	h   Handler[R]
+	obs *obs.Registry
 
 	mu        sync.RWMutex // guards closed + the queue-close transition
 	closed    bool
@@ -84,7 +103,18 @@ type Server[R any] struct {
 	batches  *obs.Counter
 	items    *obs.Counter
 	declined *obs.Counter
+	expired  *obs.Counter
 }
+
+// QueueCapacity returns the configured queue depth limit — the denominator
+// for load watermarks over the MetricQueueDepth gauge.
+func (s *Server[R]) QueueCapacity() int { return cap(s.queue) }
+
+// Engine returns the snapshot engine the server classifies through.
+func (s *Server[R]) Engine() *Engine { return s.eng }
+
+// Registry returns the registry the server's metrics land in.
+func (s *Server[R]) Registry() *obs.Registry { return s.obs }
 
 // NewServer starts the worker pool (and the engine's async rebuild loop, so
 // workers read fresh snapshots without touching the rulebase lock). The
@@ -106,6 +136,7 @@ func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] 
 	s := &Server[R]{
 		eng:      eng,
 		h:        h,
+		obs:      reg,
 		queue:    make(chan *request[R], queueDepth),
 		abort:    make(chan struct{}),
 		depth:    reg.Gauge(MetricQueueDepth),
@@ -113,10 +144,12 @@ func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] 
 		batches:  reg.Counter(MetricBatches),
 		items:    reg.Counter(MetricItems),
 		declined: reg.Counter(MetricDeclined),
+		expired:  reg.Counter(MetricDeadlineExpired),
 	}
 	reg.Help(MetricQueueDepth, "requests queued, not yet picked up by a worker")
 	reg.Help(MetricShed, "requests shed at Submit (queue full)")
 	reg.Help(MetricDeclined, "items explicitly declined during shutdown drain")
+	reg.Help(MetricDeadlineExpired, "requests whose caller deadline expired while queued")
 	eng.Start()
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -130,17 +163,34 @@ func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] 
 // caller decides whether to retry, spill, or route to manual); after
 // Shutdown it returns ErrShutdown.
 func (s *Server[R]) Submit(items []*catalog.Item) (*Ticket[R], error) {
-	req := &request[R]{items: items, done: make(chan struct{})}
+	return s.SubmitCtx(context.Background(), items)
+}
+
+// SubmitCtx is Submit with end-to-end deadline propagation: the context is
+// checked at submit time (an already-expired context is rejected without
+// queueing) and again when a worker picks the request up — a request whose
+// deadline expired while it sat in the queue resolves its ticket with the
+// context error instead of doing dead work. Cancellation does not recall a
+// request that a worker already started.
+func (s *Server[R]) SubmitCtx(ctx context.Context, items []*catalog.Item) (*Ticket[R], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request[R]{items: items, ctx: ctx, done: make(chan struct{})}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrShutdown
 	}
+	// The gauge is incremented before the send: a worker's Add(-1) is always
+	// preceded (happens-after, via the channel) by this Add(1), so the gauge
+	// can overshoot transiently on a shed but never go negative.
+	s.depth.Add(1)
 	select {
 	case s.queue <- req:
-		s.depth.Add(1)
 		return &Ticket[R]{req}, nil
 	default:
+		s.depth.Add(-1)
 		s.shed.Inc()
 		return nil, ErrQueueFull
 	}
@@ -158,6 +208,14 @@ func (s *Server[R]) worker() {
 			close(req.done)
 			continue
 		default:
+		}
+		// The caller's deadline expired while the request was queued: resolve
+		// with the context error rather than serving a result nobody waits for.
+		if err := req.ctx.Err(); err != nil {
+			req.err = err
+			s.expired.Inc()
+			close(req.done)
+			continue
 		}
 		// Snapshot isolation: the whole request runs against the snapshot
 		// current at pick-up; a concurrent swap does not affect it.

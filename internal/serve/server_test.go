@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -156,6 +157,168 @@ func TestShutdownDeclinesQueuedRequests(t *testing.T) {
 	}
 	if _, err := srv.Submit(oneItem("late")); err != ErrShutdown {
 		t.Fatalf("Submit after Shutdown: got %v, want ErrShutdown", err)
+	}
+}
+
+// TestQueueDepthGaugeNeverNegative is the regression test for the Submit
+// gauge-ordering bug: the gauge used to be incremented after the channel
+// send, so a fast worker's Add(-1) could land first and the gauge dipped
+// below zero. With the increment moved before the send, a sampler hammering
+// the gauge during a concurrent submit/drain storm must never observe a
+// negative value, and the gauge must settle at exactly zero after Drain.
+func TestQueueDepthGaugeNeverNegative(t *testing.T) {
+	eng, reg := testEngine(t)
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		return it.ID
+	}, ServerOptions{Workers: 4, QueueDepth: 8, Obs: reg})
+
+	gauge := reg.Gauge(MetricQueueDepth)
+	stop := make(chan struct{})
+	negative := make(chan float64, 1)
+	var samplers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		samplers.Add(1)
+		go func() {
+			defer samplers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if v := gauge.Value(); v < 0 {
+						select {
+						case negative <- v:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var subs sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		subs.Add(1)
+		go func(c int) {
+			defer subs.Done()
+			for i := 0; i < 300; i++ {
+				tk, err := srv.Submit(oneItem(fmt.Sprintf("c%d-%d", c, i)))
+				if err != nil {
+					continue // shed under load: fine, the gauge is the test
+				}
+				if c%2 == 0 {
+					tk.Wait()
+				}
+			}
+		}(c)
+	}
+	subs.Wait()
+	srv.Drain()
+	close(stop)
+	samplers.Wait()
+	select {
+	case v := <-negative:
+		t.Fatalf("queue depth gauge went negative: %v", v)
+	default:
+	}
+	if v := gauge.Value(); v != 0 {
+		t.Fatalf("queue depth gauge = %v after Drain, want 0", v)
+	}
+}
+
+// TestSubmitCtxDeadlineWhileQueued: a request whose caller deadline expires
+// while it sits behind a blocked worker resolves with the context error (and
+// is counted in serve_deadline_expired_total) instead of being served to a
+// caller that already left.
+func TestSubmitCtxDeadlineWhileQueued(t *testing.T) {
+	eng, reg := testEngine(t)
+	pickedUp := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		if first {
+			first = false
+			close(pickedUp)
+			<-release
+		}
+		return it.ID
+	}, ServerOptions{Workers: 1, QueueDepth: 8, Obs: reg})
+	defer srv.Drain()
+
+	blocker, err := srv.Submit(oneItem("blocker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-pickedUp
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued, err := srv.SubmitCtx(ctx, oneItem("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := srv.SubmitCtx(context.Background(), oneItem("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the doomed request's caller gives up while it is queued
+	close(release)
+
+	if _, _, err := queued.Wait(); err != context.Canceled {
+		t.Fatalf("expired-while-queued ticket: got %v, want context.Canceled", err)
+	}
+	if out, _, err := live.Wait(); err != nil || out[0] != "survivor" {
+		t.Fatalf("unexpired ticket: got %v, %v", out, err)
+	}
+	if _, _, err := blocker.Wait(); err != nil {
+		t.Fatalf("in-flight ticket: %v", err)
+	}
+	if n := reg.Counter(MetricDeadlineExpired).Value(); n != 1 {
+		t.Fatalf("deadline-expired counter = %d, want 1", n)
+	}
+}
+
+// TestSubmitCtxRejectsExpiredContext: an already-dead context never queues.
+func TestSubmitCtxRejectsExpiredContext(t *testing.T) {
+	eng, reg := testEngine(t)
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		return it.ID
+	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg})
+	defer srv.Drain()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.SubmitCtx(ctx, oneItem("late")); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if v := reg.Gauge(MetricQueueDepth).Value(); v != 0 {
+		t.Fatalf("rejected submit leaked queue depth: %v", v)
+	}
+}
+
+// TestWaitContextAbandonsWaitNotRequest: WaitContext returns the caller's
+// ctx error when waiting times out, but the ticket itself still resolves and
+// can be re-waited — the request is never cancelled mid-flight.
+func TestWaitContextAbandonsWaitNotRequest(t *testing.T) {
+	eng, reg := testEngine(t)
+	release := make(chan struct{})
+	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+		<-release
+		return it.ID
+	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg})
+	defer srv.Drain()
+
+	tk, err := srv.Submit(oneItem("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := tk.WaitContext(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("WaitContext: got %v, want context.DeadlineExceeded", err)
+	}
+	close(release)
+	if out, _, err := tk.WaitContext(context.Background()); err != nil || out[0] != "slow" {
+		t.Fatalf("re-attached wait: got %v, %v", out, err)
 	}
 }
 

@@ -91,8 +91,11 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // ActiveIDs returns the sorted IDs of the rules active in this snapshot.
 // This is the traceability hook: together with the rulebase audit log it
 // proves every verdict came from exactly one rulebase state (the race tests
-// replay the audit log against it). Treat as read-only.
-func (s *Snapshot) ActiveIDs() []string { return s.activeIDs }
+// replay the audit log against it). The returned slice is the caller's own
+// copy — mutating it cannot corrupt the shared immutable snapshot.
+func (s *Snapshot) ActiveIDs() []string {
+	return append([]string(nil), s.activeIDs...)
+}
 
 // Gate returns the Gate-Keeper executor (Gate rules only).
 func (s *Snapshot) Gate() core.Executor { return s.gate }
@@ -105,9 +108,27 @@ func (s *Snapshot) Rules() core.Executor { return s.rules }
 // health reports over this snapshot's lifetime).
 func (s *Snapshot) RuleTelemetry() *core.InstrumentedExecutor { return s.ruleInst }
 
-// Filters returns the active Filter table (target type → filter rule ID).
-// Treat as read-only.
-func (s *Snapshot) Filters() map[string]string { return s.filters }
+// Filters returns the active Filter table (target type → filter rule ID) as
+// the caller's own copy — a mutation cannot corrupt the shared immutable
+// snapshot. Hot paths that only look up one type should use FilterFor, which
+// allocates nothing.
+func (s *Snapshot) Filters() map[string]string {
+	out := make(map[string]string, len(s.filters))
+	for k, v := range s.filters {
+		out[k] = v
+	}
+	return out
+}
+
+// FilterFor returns the filter rule ID suppressing the given target type, if
+// any — the allocation-free per-item lookup the classify path uses.
+func (s *Snapshot) FilterFor(targetType string) (ruleID string, filtered bool) {
+	ruleID, filtered = s.filters[targetType]
+	return ruleID, filtered
+}
+
+// NumFilters returns the number of active Filter rules.
+func (s *Snapshot) NumFilters() int { return len(s.filters) }
 
 // Apply evaluates the classifier rules against one item — a convenience for
 // callers that serve verdicts directly rather than full pipeline decisions.

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// buildFilterSnapshot makes a snapshot with one whitelist and one filter
+// rule, so both ActiveIDs and the filter table are non-empty.
+func buildFilterSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	rb := core.NewRulebase()
+	w, err := core.NewWhitelist("widget", "gadget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(w, "test"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFilter("gadget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(f, "test"); err != nil {
+		t.Fatal(err)
+	}
+	return BuildSnapshot(rb, obs.NewRegistry())
+}
+
+// TestActiveIDsReturnsCopy is the regression test for the shared-slice leak:
+// a caller sorting, truncating or overwriting the returned IDs must not
+// corrupt what a second reader of the same immutable snapshot sees.
+func TestActiveIDsReturnsCopy(t *testing.T) {
+	snap := buildFilterSnapshot(t)
+	first := snap.ActiveIDs()
+	if len(first) != 2 {
+		t.Fatalf("want 2 active IDs, got %v", first)
+	}
+	first[0] = "mutated-by-caller"
+	first = first[:1]
+
+	second := snap.ActiveIDs()
+	if len(second) != 2 {
+		t.Fatalf("second reader sees truncated IDs: %v", second)
+	}
+	for _, id := range second {
+		if id == "mutated-by-caller" {
+			t.Fatalf("second reader sees caller mutation: %v", second)
+		}
+	}
+}
+
+// TestFiltersReturnsCopy: mutating the returned filter table must not affect
+// a second reader, and FilterFor must keep answering from the intact
+// internal table.
+func TestFiltersReturnsCopy(t *testing.T) {
+	snap := buildFilterSnapshot(t)
+	first := snap.Filters()
+	if len(first) != 1 {
+		t.Fatalf("want 1 filter, got %v", first)
+	}
+	delete(first, "gadget")
+	first["sprocket"] = "bogus"
+
+	second := snap.Filters()
+	if _, ok := second["gadget"]; !ok {
+		t.Fatalf("second reader lost the gadget filter: %v", second)
+	}
+	if _, ok := second["sprocket"]; ok {
+		t.Fatalf("second reader sees caller insertion: %v", second)
+	}
+	if _, filtered := snap.FilterFor("gadget"); !filtered {
+		t.Fatal("FilterFor lost the gadget filter after caller mutation")
+	}
+	if _, filtered := snap.FilterFor("sprocket"); filtered {
+		t.Fatal("FilterFor sees caller insertion")
+	}
+	if snap.NumFilters() != 1 {
+		t.Fatalf("NumFilters = %d, want 1", snap.NumFilters())
+	}
+}

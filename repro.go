@@ -33,6 +33,7 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/em"
 	"repro/internal/evaluate"
+	"repro/internal/faultinject"
 	"repro/internal/ie"
 	"repro/internal/kb"
 	"repro/internal/learn"
@@ -380,28 +381,67 @@ type (
 	Server = serve.Server[chimera.Decision]
 	// ServeTicket is the caller's handle on a submitted batch.
 	ServeTicket = serve.Ticket[chimera.Decision]
+	// ServeRetrier wraps Submit with capped exponential backoff and full
+	// jitter for queue-full sheds.
+	ServeRetrier = serve.Retrier[chimera.Decision]
+	// ServeRetryOptions parameterizes a ServeRetrier.
+	ServeRetryOptions = serve.RetryOptions
+	// ResilientClient is the failure-aware pipeline frontend: deadline
+	// propagation, retry/backoff, and gate-only degraded fallback
+	// (Pipeline.NewResilientClient).
+	ResilientClient = chimera.ResilientClient
+	// ResilienceOptions parameterizes a ResilientClient.
+	ResilienceOptions = chimera.ResilienceOptions
+	// FaultInjector is the deterministic, seeded fault-injection source for
+	// chaos drills (handler latency, rebuild stalls/failures, crowd faults).
+	FaultInjector = faultinject.Injector
+	// FaultConfig parameterizes a FaultInjector.
+	FaultConfig = faultinject.Config
 )
 
 var (
 	// NewServeEngine builds the snapshot engine for a standalone rulebase
 	// (pipelines get one automatically; see Pipeline.Snapshots).
 	NewServeEngine = serve.NewEngine
+	// NewServeRetrier wraps a pipeline Server in retry/backoff.
+	NewServeRetrier = serve.NewRetrier[chimera.Decision]
+	// NewFaultInjector builds a seeded fault injector.
+	NewFaultInjector = faultinject.New
 	// ErrServeQueueFull is Submit's explicit-shed error.
 	ErrServeQueueFull = serve.ErrQueueFull
 	// ErrServeShutdown is returned by Submit after shutdown began.
 	ErrServeShutdown = serve.ErrShutdown
 	// ErrServeDeclined resolves tickets declined by an expiring drain.
 	ErrServeDeclined = serve.ErrDeclined
+	// ErrServeRetryBudget is returned when a retrier's lifetime budget is
+	// exhausted; it unwraps to ErrServeQueueFull.
+	ErrServeRetryBudget = serve.ErrRetryBudget
+	// ErrFaultInjected marks every injected failure (errors.Is-matchable).
+	ErrFaultInjected = faultinject.ErrInjected
+	// ErrCrowdNoAnswers is returned when every crowd assignment for a task
+	// was lost to timeouts or no-shows.
+	ErrCrowdNoAnswers = crowd.ErrNoAnswers
+	// CrowdFloat makes a *float64 for CrowdConfig's pointer-typed knobs
+	// (explicit zero accuracy/spread is distinct from unset).
+	CrowdFloat = crowd.Float
 )
 
 // Serving-layer metric names (in the pipeline's Obs registry).
 const (
-	MetricServeSnapshotSwaps = serve.MetricSnapshotSwaps
-	MetricServeQueueDepth    = serve.MetricQueueDepth
-	MetricServeShed          = serve.MetricShed
-	MetricServeBatches       = serve.MetricBatches
-	MetricServeItems         = serve.MetricItems
-	MetricServeDeclined      = serve.MetricDeclined
+	MetricServeSnapshotSwaps   = serve.MetricSnapshotSwaps
+	MetricServeQueueDepth      = serve.MetricQueueDepth
+	MetricServeShed            = serve.MetricShed
+	MetricServeBatches         = serve.MetricBatches
+	MetricServeItems           = serve.MetricItems
+	MetricServeDeclined        = serve.MetricDeclined
+	MetricServeDeadlineExpired = serve.MetricDeadlineExpired
+	MetricServeRetryAttempts   = serve.MetricRetryAttempts
+	MetricServeRetrySuccess    = serve.MetricRetrySuccess
+	MetricServeRetryGiveUp     = serve.MetricRetryGiveUp
+	MetricServeBuildErrors     = serve.MetricBuildErrors
+	MetricServeDegraded        = serve.MetricDegraded
+	MetricDegradedItems        = chimera.MetricDegradedItems
+	MetricDegradedBatches      = chimera.MetricDegradedBatches
 )
 
 var (

@@ -17,8 +17,12 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test -race (obs, core, serve, catalog) =="
-go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog
+echo "== go test -race (obs, core, serve incl. chaos harness, catalog, faultinject, crowd) =="
+go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog \
+    ./internal/faultinject ./internal/crowd
+
+echo "== go test -race (chimera resilience: degraded mode + resilient client) =="
+go test -race ./internal/chimera -run 'TestResilientClient|TestClassifyDegraded'
 
 echo "== tier-1: go build ./... && go test ./... =="
 go build ./...
