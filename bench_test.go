@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/chimera"
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/experiments"
@@ -593,6 +594,63 @@ func BenchmarkBatchClassifyBatchInverted(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(rules)), "rules")
 	b.ReportMetric(float64(b.N)*float64(len(items))/b.Elapsed().Seconds(), "items/sec")
+}
+
+// ---------------------------------------------------------------------------
+// Decision-provenance overhead: the full pipeline over the standard 5k-item
+// batch with audit capture disabled, at the default 1-in-8 sampling, and at
+// full capture. The acceptance budget is ≤5% overhead at default sampling
+// (BENCH_PR6.json records the measured ratio).
+// ---------------------------------------------------------------------------
+
+// benchAuditPipeline is a trained pipeline with head-term whitelist rules
+// over the 250-type taxonomy, audit configured as given. The training set is
+// kept small: the KNN ensemble member's per-item cost scales with it, and a
+// heavyweight classifier would only mask the audit overhead being measured.
+func benchAuditPipeline(b *testing.B, cfg obs.AuditConfig) (*chimera.Pipeline, []*catalog.Item) {
+	b.Helper()
+	cat := catalog.New(catalog.Config{Seed: 7, NumTypes: 250})
+	p := chimera.New(chimera.Config{Seed: 7, Audit: obs.NewAuditLog(cfg)})
+	p.Train(cat.LabeledData(500))
+	for _, ty := range cat.Types() {
+		for _, h := range ty.HeadTerms {
+			if r, err := core.NewWhitelist(h.Text, ty.Name); err == nil {
+				_, _ = p.Rules.Add(r, "bench")
+			}
+		}
+	}
+	items := cat.GenerateBatch(catalog.BatchSpec{Size: 5000, Epoch: 0})
+	for _, it := range items {
+		it.TitleTokens()
+	}
+	return p, items
+}
+
+func benchProcessBatchAudit(b *testing.B, cfg obs.AuditConfig) {
+	p, items := benchAuditPipeline(b, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ProcessBatch(items)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(items))/b.Elapsed().Seconds(), "items/sec")
+}
+
+// BenchmarkBatchClassifyAuditOff is the baseline: provenance capture
+// disabled entirely (negative capacity).
+func BenchmarkBatchClassifyAuditOff(b *testing.B) {
+	benchProcessBatchAudit(b, obs.AuditConfig{Capacity: -1})
+}
+
+// BenchmarkBatchClassifyAuditDefault is the shipped configuration: 1-in-8
+// sampling with always-capture bias for declines and degraded decisions.
+func BenchmarkBatchClassifyAuditDefault(b *testing.B) {
+	benchProcessBatchAudit(b, obs.AuditConfig{})
+}
+
+// BenchmarkBatchClassifyAuditFull captures every decision — the upper bound
+// an operator pays for -audit-sample 1.
+func BenchmarkBatchClassifyAuditFull(b *testing.B) {
+	benchProcessBatchAudit(b, obs.AuditConfig{SampleEvery: 1})
 }
 
 func BenchmarkCatalogGenerate(b *testing.B) {

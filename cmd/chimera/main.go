@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -41,6 +42,11 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "per-batch caller deadline in the serving drill (0 = none)")
 		retry     = flag.Int("retry", 0, "max retry-with-backoff attempts for shed submissions in the serving drill (0 = no retries)")
 		perItem   = flag.Bool("per-item", false, "classify batches item-at-a-time (reference path) instead of the batch-inverted matcher")
+		opsAddr   = flag.String("ops", "", `serve the live-ops HTTP surface (/metrics, /healthz, /readyz, /decisions, /snapshot, /debug/pprof) on this address for the duration of the run (e.g. "127.0.0.1:6060" or ":0")`)
+		opsLinger = flag.Duration("ops-linger", 0, "keep the ops server (and the process) up this long after the run finishes, so scrapers can read the final state (requires -ops)")
+		auditTail = flag.Int("audit", 0, "print the last N decision-provenance records as NDJSON after the run")
+		auditEach = flag.Int("audit-sample", 0, "capture 1-in-N classified decisions in the provenance ring (0 = default stride; declines, degraded service and serve failures are always captured)")
+		rebuildP  = flag.Float64("chaos-rebuild-p", 0.05, "snapshot-rebuild failure probability injected under -chaos")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
@@ -55,9 +61,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-retry must be >= 0, got %d\n", *retry)
 		os.Exit(2)
 	}
+	if *opsLinger > 0 && *opsAddr == "" {
+		fmt.Fprintln(os.Stderr, "-ops-linger only applies to the ops server; set -ops too")
+		os.Exit(2)
+	}
+	if *rebuildP < 0 || *rebuildP > 1 {
+		fmt.Fprintf(os.Stderr, "-chaos-rebuild-p must be in [0,1], got %g\n", *rebuildP)
+		os.Exit(2)
+	}
+	if *auditTail < 0 || *auditEach < 0 {
+		fmt.Fprintln(os.Stderr, "-audit and -audit-sample must be >= 0")
+		os.Exit(2)
+	}
 
 	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types, ZipfS: 1.3})
-	p := repro.NewPipeline(repro.PipelineConfig{Seed: *seed, PerItem: *perItem})
+	p := repro.NewPipeline(repro.PipelineConfig{
+		Seed:    *seed,
+		PerItem: *perItem,
+		Audit:   repro.NewAuditLog(repro.AuditConfig{SampleEvery: *auditEach}),
+	})
+
+	var opsSrv *repro.OpsServer
+	if *opsAddr != "" {
+		srv, err := repro.NewOpsServer(opsOptions(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ops server: %v\n", err)
+			os.Exit(1)
+		}
+		addr, err := srv.Start(*opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ops server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ops: listening on %s\n", addr)
+		opsSrv = srv
+	}
 
 	fmt.Printf("bootstrapping: %d types, %d training items\n", *types, *trainSize)
 	p.Train(cat.LabeledData(*trainSize))
@@ -109,9 +147,24 @@ func main() {
 			mutPerS:  *serveMut,
 			seed:     *seed,
 			chaos:    *chaos,
+			rebuildP: *rebuildP,
 			deadline: *deadline,
 			retry:    *retry,
 		})
+	}
+
+	// Decision provenance: the per-path/outcome breakdown is exact (sampled-out
+	// decisions are still counted), the tail is whatever the ring retained.
+	fmt.Printf("\n== decision paths ==\n%s", repro.FormatDecisionBreakdown(p.Audit.Breakdown()))
+	fmt.Printf("audit: %d captured, %d sampled out, %d offered (ring capacity %d, 1-in-%d)\n",
+		p.Audit.Captured(), p.Audit.SampledOut(), p.Audit.Offered(),
+		p.Audit.Capacity(), p.Audit.SampleEvery())
+	if *auditTail > 0 {
+		fmt.Printf("\n== decision tail (last %d) ==\n", *auditTail)
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range p.Audit.Tail(*auditTail) {
+			_ = enc.Encode(rec)
+		}
 	}
 
 	if *profile {
@@ -143,6 +196,54 @@ func main() {
 			fmt.Println(string(data))
 		}
 	}
+
+	if opsSrv != nil {
+		if *opsLinger > 0 {
+			time.Sleep(*opsLinger)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = opsSrv.Close(ctx)
+		cancel()
+	}
+}
+
+// opsQueueCap mirrors the serving drill's queue capacity so the ops /readyz
+// watermark has a denominator; zero outside the drill.
+var opsQueueCap atomic.Int64
+
+// opsOptions wires the ops surface to the pipeline: metrics from its
+// registry, decisions from its audit ring, health from the snapshot engine's
+// degraded state plus the live queue-depth gauge, and /snapshot from the
+// engine's current view plus telemetry-ranked rule health.
+func opsOptions(p *repro.Pipeline) repro.OpsOptions {
+	eng := p.Snapshots()
+	return repro.OpsOptions{
+		Registry: p.Obs,
+		Audit:    p.Audit,
+		Health: func() repro.OpsHealthStatus {
+			st := repro.OpsHealthStatus{
+				Degraded:        eng.Degraded(),
+				Ready:           true,
+				QueueDepth:      int(p.Obs.Gauge(repro.MetricServeQueueDepth).Value()),
+				QueueCapacity:   int(opsQueueCap.Load()),
+				SnapshotVersion: eng.Current().Version(),
+			}
+			if st.Degraded {
+				st.Detail = "serving stale snapshot: last rebuild failed"
+			}
+			return st
+		},
+		Snapshot: func() repro.OpsSnapshotInfo {
+			snap := eng.Current()
+			ids := snap.ActiveIDs()
+			return repro.OpsSnapshotInfo{
+				Version:     snap.Version(),
+				ActiveRules: len(ids),
+				RuleIDs:     ids,
+				RuleHealth:  p.RuleHealth(0.92),
+			}
+		},
+	}
 }
 
 // drillOptions bundles the serving-drill knobs.
@@ -152,6 +253,7 @@ type drillOptions struct {
 	mutPerS  int
 	seed     uint64
 	chaos    bool
+	rebuildP float64
 	deadline time.Duration
 	retry    int
 }
@@ -192,7 +294,7 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, o drillOptions) {
 			// deadline-bound client.
 			HandlerLatencyP: 0.20, HandlerLatency: 500 * time.Microsecond,
 			RebuildStallP: 0.10, RebuildStall: time.Millisecond,
-			RebuildErrorP: 0.05,
+			RebuildErrorP: o.rebuildP,
 		})
 		p.Snapshots().SetRebuildFault(inj.RebuildFault)
 		defer p.Snapshots().SetRebuildFault(nil)
@@ -200,6 +302,8 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, o drillOptions) {
 		sopts.Workers = (clients + 1) / 2
 		sopts.QueueDepth = 2
 	}
+	opsQueueCap.Store(int64(sopts.QueueDepth))
+	defer opsQueueCap.Store(0)
 	ropts := repro.ResilienceOptions{Faults: inj}
 	if o.retry > 0 {
 		// Backoff spans a batch's service time (tens of ms), so a retried
@@ -352,6 +456,11 @@ func serveDrill(cat *repro.Catalog, p *repro.Pipeline, o drillOptions) {
 			inj.Total(), inj.Counts(),
 			reg.Counter(repro.MetricServeBuildErrors).Value(),
 			p.Snapshots().Degraded())
+		// Clear the injector and prove recovery: with the fault gone, one
+		// clean rebuild un-degrades the engine (the /healthz flip back that
+		// the ops drill observes).
+		p.Snapshots().SetRebuildFault(nil)
+		p.Snapshots().Acquire()
 	}
 }
 

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // binPath is the chimera binary built once in TestMain; the CLI tests drive
@@ -49,6 +54,9 @@ func TestCLIBaseRun(t *testing.T) {
 		"epoch 0 mixed vendors",
 		"final state:",
 		"precision history:",
+		"== decision paths ==",
+		"classifier/classified",
+		"audit: ",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -198,6 +206,156 @@ func TestCLIDeadlineDrill(t *testing.T) {
 	if strings.Contains(out, "served: 0 batches") {
 		t.Errorf("deadline drill served nothing — deadline too tight for the small world:\n%s", out)
 	}
+}
+
+// startOps launches the binary with -ops on an ephemeral port plus the small
+// world and extra flags, parses the printed bound address, and returns the
+// base URL. Stdout keeps draining in the background so the process never
+// blocks on a full pipe; the process is killed at test cleanup.
+func startOps(t *testing.T, extra ...string) string {
+	t.Helper()
+	args := append([]string{
+		"-types", "20", "-train", "400", "-batches", "2", "-batch-size", "150",
+		"-ops", "127.0.0.1:0",
+	}, extra...)
+	cmd := exec.Command(binPath, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ops: listening on "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("ops server address never printed")
+		return ""
+	}
+}
+
+// pollStatus GETs url until it answers with the wanted status code or the
+// budget runs out.
+func pollStatus(url string, want int, budget time.Duration) bool {
+	end := time.Now().Add(budget)
+	for time.Now().Before(end) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+// TestCLIOpsSurface scrapes the live ops endpoints of a real `chimera -ops`
+// process: /metrics shows the finished run's counters, /healthz reports
+// healthy JSON, /decisions streams parseable NDJSON provenance, /snapshot
+// describes the active rule set.
+func TestCLIOpsSurface(t *testing.T) {
+	base := startOps(t, "-ops-linger", "15s", "-audit-sample", "1")
+
+	// The batch loop runs after the server comes up; poll until its counters
+	// land in the scrape.
+	deadline := time.Now().Add(30 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			if resp.StatusCode == 200 && strings.Contains(body, "chimera_batches_total 2") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed the finished run:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(body, "# TYPE chimera_batches_total counter") {
+		t.Errorf("/metrics missing TYPE header:\n%.400s", body)
+	}
+
+	code, health := httpGet(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz = %d (%s)", code, health)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(health), &st); err != nil || st["degraded"] != false {
+		t.Fatalf("/healthz body: %s (err %v)", health, err)
+	}
+
+	code, decisions := httpGet(t, base+"/decisions?n=8")
+	if code != 200 || strings.TrimSpace(decisions) == "" {
+		t.Fatalf("/decisions = %d:\n%s", code, decisions)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(decisions), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("NDJSON line did not parse: %v\n%s", err, line)
+		}
+		if rec["path"] == "" || rec["item_id"] == "" {
+			t.Errorf("decision record missing provenance fields: %s", line)
+		}
+	}
+
+	if code, snap := httpGet(t, base+"/snapshot"); code != 200 || !strings.Contains(snap, `"active_rules"`) {
+		t.Fatalf("/snapshot = %d:\n%.300s", code, snap)
+	}
+}
+
+// TestCLIOpsHealthFlipsUnderChaos is the liveness drill end to end: with
+// every snapshot rebuild failing (-chaos -chaos-rebuild-p 1) the engine goes
+// degraded and /healthz flips to 503; after the drill clears the injector and
+// rebuilds cleanly, /healthz recovers to 200.
+func TestCLIOpsHealthFlipsUnderChaos(t *testing.T) {
+	base := startOps(t,
+		"-serve", "900ms", "-serve-clients", "4", "-serve-mutations", "200",
+		"-chaos", "-chaos-rebuild-p", "1", "-ops-linger", "15s")
+
+	if !pollStatus(base+"/healthz", http.StatusServiceUnavailable, 30*time.Second) {
+		t.Fatal("/healthz never flipped to 503 while rebuilds were failing")
+	}
+	if !pollStatus(base+"/healthz", 200, 30*time.Second) {
+		t.Fatal("/healthz never recovered after the drill cleared the fault")
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
 }
 
 // TestCLIResilienceFlagsRequireServe: the drill-only flags exit 2 with a

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -44,6 +45,7 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 
 	sample := p.rng.Split(fmt.Sprintf("sample-%d", len(p.history))).
 		Sample(len(classified), p.cfg.SampleSize)
+	crowdReq := obs.NewRequestID("crowd")
 	correct := 0
 	var flagged []Decision
 	for _, i := range sample {
@@ -57,6 +59,7 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 		} else {
 			flagged = append(flagged, d)
 		}
+		p.auditCrowd(crowdReq, res.SnapshotVersion, d, ok)
 	}
 	rep.SampleSize = len(sample)
 	rep.Flagged = len(flagged)
@@ -95,6 +98,35 @@ func (p *Pipeline) EvaluateAndImprove(res *BatchResult) (*ImproveReport, error) 
 		p.Train(relabeled)
 	}
 	return rep, nil
+}
+
+// auditCrowd records one crowd-verification event: the item's prediction was
+// either verified or flagged by the crowd sample. Crowd records are never
+// OutcomeClassified, so they bypass sampling — the crowd sample is small and
+// every one of its judgments is provenance worth keeping.
+func (p *Pipeline) auditCrowd(requestID string, snapVersion uint64, d Decision, verified bool) {
+	a := p.Audit
+	if !a.Enabled() {
+		return
+	}
+	outcome := obs.OutcomeFlagged
+	if verified {
+		outcome = obs.OutcomeVerified
+	}
+	if !a.ShouldCapture(true) {
+		return
+	}
+	a.Observe(&obs.DecisionRecord{
+		RequestID:       requestID,
+		ItemID:          d.Item.ID,
+		SnapshotVersion: snapVersion,
+		Path:            obs.PathCrowd,
+		Outcome:         outcome,
+		Type:            d.Type,
+		Reason:          d.Reason,
+		Confidence:      d.Confidence,
+		Fired:           d.Evidence,
+	})
 }
 
 // typeUniverse lists the types the system currently knows: training labels

@@ -8,6 +8,7 @@
 package chimera
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,6 +71,11 @@ type Config struct {
 	// Obs receives the pipeline's metrics (default obs.Default(), the
 	// process-wide registry the CLIs dump with -metrics).
 	Obs *obs.Registry
+	// Audit receives one decision-provenance record per classified item
+	// (sampled; declines and degraded decisions always captured). Default:
+	// a fresh obs.NewAuditLog with default capacity and sampling. Pass
+	// obs.NewAuditLog(obs.AuditConfig{Capacity: -1}) to disable capture.
+	Audit *obs.AuditLog
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default()
+	}
+	if c.Audit == nil {
+		c.Audit = obs.NewAuditLog(obs.AuditConfig{})
 	}
 	return c
 }
@@ -126,6 +135,9 @@ type BatchResult struct {
 	Accepted bool
 	// Profile is the batch's telemetry profile (filled by ProcessBatch).
 	Profile *BatchProfile
+	// SnapshotVersion is the rulebase snapshot the whole batch was
+	// classified under; crowd and onboarding audit records inherit it.
+	SnapshotVersion uint64
 }
 
 // BatchProfile is the per-batch operational profile: where the time went
@@ -218,9 +230,11 @@ type Pipeline struct {
 	Analyst  *crowd.Analyst
 	Tracker  *evaluate.ImpactTracker
 	// Obs is the pipeline's metric registry; Trace holds one span tree per
-	// processed batch (rendered by the CLIs with -profile).
+	// processed batch (rendered by the CLIs with -profile); Audit is the
+	// decision-provenance ring (tail it via /decisions or the CLI).
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	Audit *obs.AuditLog
 
 	// snaps owns the immutable rule-executor snapshots the pipeline
 	// classifies through (see internal/serve): rebuilt only when the
@@ -256,6 +270,7 @@ func New(cfg Config) *Pipeline {
 		Tracker:  evaluate.NewImpactTracker(cfg.ImpactThreshold),
 		Obs:      cfg.Obs,
 		Trace:    obs.NewTracer(),
+		Audit:    cfg.Audit,
 	}
 	p.Rules.Instrument(p.Obs)
 	p.snaps = serve.NewEngine(p.Rules, serve.EngineOptions{Obs: p.Obs})
@@ -278,8 +293,11 @@ func (p *Pipeline) NewServer(opts serve.ServerOptions) *serve.Server[Decision] {
 	if opts.Obs == nil {
 		opts.Obs = p.Obs
 	}
-	return serve.NewServer(p.snaps, func(snap *serve.Snapshot, it *catalog.Item) Decision {
-		return p.classifyWith(it, snap)
+	if opts.Audit == nil {
+		opts.Audit = p.Audit // serve-layer failures land in the same provenance log
+	}
+	return serve.NewServer(p.snaps, func(ctx context.Context, snap *serve.Snapshot, it *catalog.Item) Decision {
+		return p.classifyWith(ctx, it, snap)
 	}, opts)
 }
 
@@ -336,18 +354,94 @@ func (p *Pipeline) RuleHealth(minConfidence float64) []core.RuleHealth {
 
 // Classify runs one item through the Figure-2 stages.
 func (p *Pipeline) Classify(it *catalog.Item) Decision {
-	return p.classifyWith(it, p.snapshot())
+	return p.ClassifyCtx(context.Background(), it)
+}
+
+// ClassifyCtx is Classify with decision provenance: the request ID carried
+// by ctx (see obs.WithRequestID) is stamped on the item's audit record.
+func (p *Pipeline) ClassifyCtx(ctx context.Context, it *catalog.Item) Decision {
+	return p.classifyWith(ctx, it, p.snapshot())
 }
 
 // classifyWith runs one item through the Figure-2 stages with per-item rule
 // execution — the reference path. ProcessBatch reproduces the same decision
 // from batch-computed verdicts (gateDecision + voteDecision on the same
 // snapshot), which a pipeline test asserts.
-func (p *Pipeline) classifyWith(it *catalog.Item, snap *serve.Snapshot) Decision {
-	if d, ok := p.gateDecision(it, snap, snap.Gate().Apply(it)); ok {
+func (p *Pipeline) classifyWith(ctx context.Context, it *catalog.Item, snap *serve.Snapshot) Decision {
+	start := time.Now()
+	gv := snap.Gate().Apply(it)
+	gateD := time.Since(start)
+	if d, ok := p.gateDecision(it, snap, gv); ok {
+		p.auditDecision(ctx, snap.Version(), d, obs.PathPerItem, gv, nil, "gate", gateD, "", 0)
 		return d
 	}
-	return p.voteDecision(it, snap, snap.Rules().Apply(it))
+	start = time.Now()
+	rv := snap.Rules().Apply(it)
+	d := p.voteDecision(it, snap, rv)
+	p.auditDecision(ctx, snap.Version(), d, obs.PathPerItem, gv, rv, "gate", gateD, "classify", time.Since(start))
+	return d
+}
+
+// auditDecision offers one decision to the provenance log. The sampling
+// check runs before the record is built, so the sampled-out hot path costs
+// two atomic ops and no allocation. gv/rv are the gate and classifier
+// verdicts the decision came from (either may be nil); stage name/duration
+// pairs with an empty name are dropped.
+func (p *Pipeline) auditDecision(ctx context.Context, snapVersion uint64, d Decision, path string,
+	gv, rv *core.Verdict, s1 string, d1 time.Duration, s2 string, d2 time.Duration) {
+	a := p.Audit
+	if !a.Enabled() {
+		return
+	}
+	outcome := obs.OutcomeClassified
+	if d.Declined {
+		outcome = obs.OutcomeDeclined
+	}
+	if !a.ShouldCapture(d.Declined || path == obs.PathDegraded) {
+		a.CountSampledOut(path, outcome)
+		return
+	}
+	rec := &obs.DecisionRecord{
+		RequestID:       obs.RequestID(ctx),
+		ItemID:          d.Item.ID,
+		SnapshotVersion: snapVersion,
+		Path:            path,
+		Outcome:         outcome,
+		Type:            d.Type,
+		Reason:          d.Reason,
+		Confidence:      d.Confidence,
+	}
+	if gv != nil {
+		rec.Fired = append(rec.Fired, gv.FiredRuleIDs()...)
+		rec.Vetoed = append(rec.Vetoed, gv.VetoingRuleIDs()...)
+	}
+	if rv != nil {
+		rec.Fired = append(rec.Fired, rv.FiredRuleIDs()...)
+		rec.Vetoed = append(rec.Vetoed, rv.VetoingRuleIDs()...)
+	}
+	// A filtered decline is a veto by the Filter rule: name it.
+	if fid := filterRuleID(d.Reason); fid != "" {
+		rec.Vetoed = append(rec.Vetoed, fid)
+	}
+	if s1 != "" {
+		rec.Stages = append(rec.Stages, obs.StageLatency{Stage: s1, D: d1})
+	}
+	if s2 != "" {
+		rec.Stages = append(rec.Stages, obs.StageLatency{Stage: s2, D: d2})
+	}
+	a.Observe(rec)
+}
+
+// filterRuleID extracts the Filter rule ID from a "filtered:<type> by <id>"
+// decline reason ("" for every other reason).
+func filterRuleID(reason string) string {
+	if !strings.HasPrefix(reason, "filtered:") {
+		return ""
+	}
+	if i := strings.LastIndex(reason, " by "); i >= 0 {
+		return reason[i+len(" by "):]
+	}
+	return ""
 }
 
 // gateDecision settles stage 1 (Gate Keeper) from an already-computed gate
@@ -452,6 +546,14 @@ func ruleIDs(rules []*core.Rule) []string {
 // p.Trace (prepare → classify → accounting), a BatchProfile on the result,
 // and its per-item/per-stage series in p.Obs.
 func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
+	return p.ProcessBatchCtx(context.Background(), items)
+}
+
+// ProcessBatchCtx is ProcessBatch with request-ID propagation: every audit
+// record the batch produces carries ctx's request ID (one is generated with
+// prefix "batch" when ctx has none).
+func (p *Pipeline) ProcessBatchCtx(ctx context.Context, items []*catalog.Item) *BatchResult {
+	ctx, _ = obs.EnsureRequestID(ctx, "batch")
 	p.mu.Lock()
 	batchNo := p.batches
 	p.batches++
@@ -464,7 +566,7 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 	// the same rulebase version, even while maintenance mutates rules.
 	snap := p.snaps.Acquire()
 	prep.End()
-	res := &BatchResult{Decisions: make([]Decision, len(items))}
+	res := &BatchResult{Decisions: make([]Decision, len(items)), SnapshotVersion: snap.Version()}
 
 	workers := p.cfg.Workers
 	if workers < 1 {
@@ -520,11 +622,15 @@ func (p *Pipeline) ProcessBatch(items []*catalog.Item) *BatchResult {
 			for i := lo; i < hi; i++ {
 				start := time.Now()
 				if p.cfg.PerItem {
-					res.Decisions[i] = p.classifyWith(items[i], snap)
+					// classifyWith records its own per-item audit entry.
+					res.Decisions[i] = p.classifyWith(ctx, items[i], snap)
 				} else if d, ok := p.gateDecision(items[i], snap, gvs[i]); ok {
 					res.Decisions[i] = d
+					p.auditDecision(ctx, snap.Version(), d, obs.PathBatchGate, gvs[i], nil, "assemble", time.Since(start), "", 0)
 				} else {
-					res.Decisions[i] = p.voteDecision(items[i], snap, rvs[i])
+					d := p.voteDecision(items[i], snap, rvs[i])
+					res.Decisions[i] = d
+					p.auditDecision(ctx, snap.Version(), d, obs.PathClassifier, gvs[i], rvs[i], "assemble", time.Since(start), "", 0)
 				}
 				latency.Observe(time.Since(start).Seconds())
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/mining"
+	"repro/internal/obs"
 )
 
 // This file implements the §2.2 "scale up" requirement: items the Voting
@@ -38,6 +39,7 @@ func (p *Pipeline) OnboardDeclined(res *BatchResult, maxRules int) (*OnboardRepo
 		known[t] = true
 	}
 
+	manualReq := obs.NewRequestID("onboard")
 	var labeled []*catalog.Item
 	for _, d := range res.Decisions {
 		if !d.Declined {
@@ -51,6 +53,18 @@ func (p *Pipeline) OnboardDeclined(res *BatchResult, maxRules int) (*OnboardRepo
 		if !known[label] {
 			known[label] = true
 			rep.NewTypes = append(rep.NewTypes, label)
+		}
+		// Provenance: the item's decision is now a manual-team label.
+		if p.Audit.Enabled() && p.Audit.ShouldCapture(true) {
+			p.Audit.Observe(&obs.DecisionRecord{
+				RequestID:       manualReq,
+				ItemID:          d.Item.ID,
+				SnapshotVersion: res.SnapshotVersion,
+				Path:            obs.PathManual,
+				Outcome:         obs.OutcomeLabeled,
+				Type:            label,
+				Reason:          "manual-label after " + d.Reason,
+			})
 		}
 	}
 	sort.Strings(rep.NewTypes)

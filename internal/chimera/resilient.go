@@ -62,12 +62,15 @@ func (p *Pipeline) NewResilientClient(sopts serve.ServerOptions, ropts Resilienc
 	if sopts.Obs == nil {
 		sopts.Obs = p.Obs
 	}
+	if sopts.Audit == nil {
+		sopts.Audit = p.Audit
+	}
 	inj := ropts.Faults
-	srv := serve.NewServer(p.snaps, func(snap *serve.Snapshot, it *catalog.Item) Decision {
+	srv := serve.NewServer(p.snaps, func(ctx context.Context, snap *serve.Snapshot, it *catalog.Item) Decision {
 		if d := inj.HandlerDelay(); d > 0 {
 			time.Sleep(d)
 		}
-		return p.classifyWith(it, snap)
+		return p.classifyWith(ctx, it, snap)
 	}, sopts)
 
 	w := ropts.DegradedWatermark
@@ -117,14 +120,15 @@ func (rc *ResilientClient) DegradedMode() bool {
 // Every submitted item therefore resolves exactly once: with a full
 // decision, a degraded decision, or an explicit error — never silence.
 func (rc *ResilientClient) Process(ctx context.Context, items []*catalog.Item) ([]Decision, *serve.Snapshot, error) {
+	ctx, _ = obs.EnsureRequestID(ctx, "req")
 	if rc.DegradedMode() {
-		out, snap := rc.degrade(items)
+		out, snap := rc.degrade(ctx, items)
 		return out, snap, nil
 	}
 	ticket, err := rc.retr.Submit(ctx, items)
 	if err != nil {
 		if errors.Is(err, serve.ErrQueueFull) {
-			out, snap := rc.degrade(items)
+			out, snap := rc.degrade(ctx, items)
 			return out, snap, nil
 		}
 		return nil, nil, err
@@ -137,8 +141,8 @@ func (rc *ResilientClient) Process(ctx context.Context, items []*catalog.Item) (
 // is declined to the manual queue with reason "degraded". Manual-queue and
 // per-stage accounting run exactly as on the full path, so served + declined
 // totals still add up across modes.
-func (rc *ResilientClient) degrade(items []*catalog.Item) ([]Decision, *serve.Snapshot) {
-	out, snap := rc.p.ClassifyDegraded(items)
+func (rc *ResilientClient) degrade(ctx context.Context, items []*catalog.Item) ([]Decision, *serve.Snapshot) {
+	out, snap := rc.p.ClassifyDegradedCtx(ctx, items)
 	rc.degBatches.Inc()
 	rc.degItems.Add(int64(len(items)))
 	return out, snap
@@ -150,15 +154,26 @@ func (rc *ResilientClient) degrade(items []*catalog.Item) ([]Decision, *serve.Sn
 // "degraded" and routed to the manual queue. It reads the lock-free Current
 // snapshot — degraded mode must never wait on the rulebase.
 func (p *Pipeline) ClassifyDegraded(items []*catalog.Item) ([]Decision, *serve.Snapshot) {
+	return p.ClassifyDegradedCtx(context.Background(), items)
+}
+
+// ClassifyDegradedCtx is ClassifyDegraded with request-ID propagation. Every
+// item yields an always-captured audit record on the degraded path — the
+// records an operator tails first during an incident.
+func (p *Pipeline) ClassifyDegradedCtx(ctx context.Context, items []*catalog.Item) ([]Decision, *serve.Snapshot) {
+	ctx, _ = obs.EnsureRequestID(ctx, "degraded")
 	snap := p.snaps.Current()
 	out := make([]Decision, len(items))
 	declined := 0
 	for i, it := range items {
-		if d, ok := p.gateDecision(it, snap, snap.Gate().Apply(it)); ok {
+		start := time.Now()
+		gv := snap.Gate().Apply(it)
+		if d, ok := p.gateDecision(it, snap, gv); ok {
 			out[i] = d
 		} else {
 			out[i] = Decision{Item: it, Declined: true, Reason: "degraded"}
 		}
+		p.auditDecision(ctx, snap.Version(), out[i], obs.PathDegraded, gv, nil, "gate", time.Since(start), "", 0)
 		if out[i].Declined {
 			declined++
 		}

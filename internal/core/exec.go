@@ -83,6 +83,48 @@ func (v *Verdict) Evidence(t string) []*Rule {
 	return nil
 }
 
+// FiredRuleIDs returns the sorted, de-duplicated IDs of every rule that
+// matched the item in an asserting or constraining role (Asserted across all
+// types, plus Constraints). Together with VetoingRuleIDs it is the rule-level
+// provenance a decision audit record carries.
+func (v *Verdict) FiredRuleIDs() []string {
+	seen := map[string]bool{}
+	for _, rules := range v.Asserted {
+		for _, r := range rules {
+			seen[r.ID] = true
+		}
+	}
+	for _, r := range v.Constraints {
+		seen[r.ID] = true
+	}
+	return sortedKeys(seen)
+}
+
+// VetoingRuleIDs returns the sorted, de-duplicated IDs of every blacklist
+// rule that vetoed a type for the item — the rules a declined item's audit
+// record names as the reason.
+func (v *Verdict) VetoingRuleIDs() []string {
+	seen := map[string]bool{}
+	for _, rules := range v.Vetoed {
+		for _, r := range rules {
+			seen[r.ID] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Explain renders a human-readable justification for the verdict — the §3.2
 // "liability concerns may require certain predictions to be explainable"
 // capability that motivates rules in the first place.

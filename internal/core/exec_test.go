@@ -328,3 +328,45 @@ func TestVerdictContradictoryConstraints(t *testing.T) {
 		t.Fatal("nothing should survive contradictory constraints")
 	}
 }
+
+func TestVerdictRuleIDProvenance(t *testing.T) {
+	w1 := mustRule(NewWhitelist("laptops?", "laptop computers"))
+	w1.ID = "w-laptop"
+	w2 := mustRule(NewWhitelist("laptop (bag | case)s?", "laptop bags & cases"))
+	w2.ID = "w-laptop-bag"
+	bl := mustRule(NewBlacklist("laptop (bag | case)s?", "laptop computers"))
+	bl.ID = "b-laptop-bag"
+	av := mustRule(NewAttrValue("Brand Name", "apex", []string{"laptop computers", "laptop bags & cases"}))
+	av.ID = "c-brand"
+	ex := NewSequentialExecutor([]*Rule{w1, w2, bl, av})
+
+	v := ex.Apply(item("apex laptop bag", map[string]string{"Brand Name": "apex"}))
+	// All asserting + constraining matches appear in FiredRuleIDs, sorted.
+	if got := v.FiredRuleIDs(); len(got) != 3 ||
+		got[0] != "c-brand" || got[1] != "w-laptop" || got[2] != "w-laptop-bag" {
+		t.Fatalf("FiredRuleIDs = %v", got)
+	}
+	// The vetoing blacklist rule is named, not just the vetoed type.
+	if got := v.VetoingRuleIDs(); len(got) != 1 || got[0] != "b-laptop-bag" {
+		t.Fatalf("VetoingRuleIDs = %v", got)
+	}
+
+	// No matches: both lists are empty (nil), not panics.
+	empty := ex.Apply(item("garden hose", nil))
+	if got := empty.FiredRuleIDs(); len(got) != 0 {
+		t.Fatalf("FiredRuleIDs on no-match = %v", got)
+	}
+	if got := empty.VetoingRuleIDs(); len(got) != 0 {
+		t.Fatalf("VetoingRuleIDs on no-match = %v", got)
+	}
+
+	// Duplicate IDs collapse.
+	dup := mustRule(NewWhitelist("hoses?", "garden"))
+	dup.ID = "w-dup"
+	dup2 := mustRule(NewWhitelist("garden hoses?", "garden"))
+	dup2.ID = "w-dup"
+	v2 := NewSequentialExecutor([]*Rule{dup, dup2}).Apply(item("garden hose", nil))
+	if got := v2.FiredRuleIDs(); len(got) != 1 || got[0] != "w-dup" {
+		t.Fatalf("duplicate IDs not collapsed: %v", got)
+	}
+}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file round-trips PrometheusText through a minimal exposition parser:
+// if a scraper this simple can recover every sample (name, labels, value)
+// plus HELP/TYPE metadata and cumulative bucket invariants, a real one can.
+
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type expoFamily struct {
+	kind    string // counter | gauge | histogram
+	help    string
+	hasHelp bool
+	samples []expoSample
+}
+
+// parseExposition is a deliberately minimal Prometheus text-format (0.0.4)
+// parser. It enforces the structural rules a scraper relies on: TYPE before
+// samples, HELP (when present) immediately before TYPE, one TYPE per family.
+func parseExposition(t *testing.T, text string) map[string]*expoFamily {
+	t.Helper()
+	fams := map[string]*expoFamily{}
+	var pendingHelp string
+	var pendingName string
+	havePending := false
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed HELP %q", ln, line)
+			}
+			pendingName, pendingHelp, havePending = name, help, true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE %q", ln, line)
+			}
+			name, kind := fields[0], fields[1]
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln, name)
+			}
+			f := &expoFamily{kind: kind}
+			if havePending {
+				if pendingName != name {
+					t.Fatalf("line %d: HELP for %q not followed by its TYPE (got %q)", ln, pendingName, name)
+				}
+				f.help, f.hasHelp = pendingHelp, true
+				havePending = false
+			}
+			fams[name] = f
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", ln, line)
+		default:
+			s := parseSampleLine(t, ln, line)
+			fam := fams[familyOf(s.name)]
+			if fam == nil {
+				t.Fatalf("line %d: sample %q before its TYPE line", ln, s.name)
+			}
+			fam.samples = append(fam.samples, s)
+		}
+	}
+	return fams
+}
+
+// familyOf strips histogram series suffixes so samples attach to their family.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseSampleLine(t *testing.T, ln int, line string) expoSample {
+	t.Helper()
+	s := expoSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label set %q", ln, line)
+		}
+		for _, pair := range splitLabelPairs(line[i+1 : end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q", ln, pair)
+			}
+			s.labels[k] = unescapeLabel(v[1 : len(v)-1])
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		s.name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: no value on %q", ln, line)
+		}
+	}
+	v, err := parseExpoValue(strings.TrimSpace(rest))
+	if err != nil {
+		t.Fatalf("line %d: bad value in %q: %v", ln, line, err)
+	}
+	s.value = v
+	return s
+}
+
+// splitLabelPairs splits k="v" pairs on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			b.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			b.WriteRune(r)
+			escaped = true
+		case r == '"':
+			b.WriteRune(r)
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	out = append(out, b.String())
+	return out
+}
+
+func unescapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	v = strings.ReplaceAll(v, `\"`, `"`)
+	v = strings.ReplaceAll(v, `\\`, `\`)
+	return v
+}
+
+func parseExpoValue(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (f *expoFamily) find(name string, want map[string]string) *expoSample {
+	for i := range f.samples {
+		s := &f.samples[i]
+		if s.name != name || len(s.labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestPrometheusTextRoundTrip registers counters, gauges and histograms —
+// including labeled series, escaped label values and HELP text — renders the
+// exposition, and re-parses it with the minimal parser above.
+func TestPrometheusTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(42)
+	reg.Counter("requests_total", "path", "batch-gate").Add(7)
+	reg.Counter("requests_total", "path", `we"ird,\value`).Add(1)
+	reg.Help("requests_total", "Requests by path.\nSecond line \\ backslash.")
+	reg.Gauge("queue_depth").Set(17.5)
+	reg.Gauge("temperature").Set(-3.25)
+
+	h := reg.Histogram("latency_seconds", []float64{0.1, 0.5, 2.5})
+	// Edge cases: exactly on a bound (counts in that bucket), between
+	// bounds, and past the last bound (+Inf only).
+	for _, v := range []float64{0.1, 0.05, 0.3, 0.5, 2.0, 99} {
+		h.Observe(v)
+	}
+	reg.Histogram("empty_seconds", []float64{1}) // zero observations
+
+	fams := parseExposition(t, reg.PrometheusText())
+
+	ctr := fams["requests_total"]
+	if ctr == nil || ctr.kind != "counter" {
+		t.Fatalf("requests_total family = %+v", ctr)
+	}
+	if !ctr.hasHelp || ctr.help != `Requests by path.\nSecond line \\ backslash.` {
+		t.Errorf("HELP round-trip = %q (hasHelp=%v)", ctr.help, ctr.hasHelp)
+	}
+	if s := ctr.find("requests_total", nil); s == nil || s.value != 42 {
+		t.Errorf("unlabeled counter = %+v", s)
+	}
+	if s := ctr.find("requests_total", map[string]string{"path": "batch-gate"}); s == nil || s.value != 7 {
+		t.Errorf("labeled counter = %+v", s)
+	}
+	if s := ctr.find("requests_total", map[string]string{"path": `we"ird,\value`}); s == nil || s.value != 1 {
+		t.Errorf("escaped label value did not round-trip: %+v", ctr.samples)
+	}
+
+	if s := fams["queue_depth"]; s == nil || s.kind != "gauge" || s.find("queue_depth", nil).value != 17.5 {
+		t.Errorf("gauge queue_depth = %+v", s)
+	}
+	if s := fams["temperature"]; s == nil || s.find("temperature", nil).value != -3.25 {
+		t.Errorf("negative gauge = %+v", s)
+	}
+
+	checkHistogram(t, fams["latency_seconds"], "latency_seconds",
+		[]float64{0.1, 0.5, 2.5}, []float64{2, 4, 5}, 6, 0.1+0.05+0.3+0.5+2.0+99)
+	checkHistogram(t, fams["empty_seconds"], "empty_seconds",
+		[]float64{1}, []float64{0}, 0, 0)
+}
+
+// checkHistogram verifies the scraped series against the histogram contract:
+// le= buckets are cumulative and ascending, the +Inf bucket equals _count,
+// and _sum matches.
+func checkHistogram(t *testing.T, fam *expoFamily, name string, bounds, wantCum []float64, wantCount int64, wantSum float64) {
+	t.Helper()
+	if fam == nil || fam.kind != "histogram" {
+		t.Fatalf("%s: family = %+v", name, fam)
+	}
+	var les []float64
+	for _, s := range fam.samples {
+		if s.name == name+"_bucket" {
+			le, err := parseExpoValue(s.labels["le"])
+			if err != nil {
+				t.Fatalf("%s: bad le %q", name, s.labels["le"])
+			}
+			les = append(les, le)
+		}
+	}
+	if !sort.Float64sAreSorted(les) {
+		t.Errorf("%s: le values not ascending: %v", name, les)
+	}
+	if len(les) != len(bounds)+1 || !math.IsInf(les[len(les)-1], 1) {
+		t.Fatalf("%s: buckets %v, want %v then +Inf", name, les, bounds)
+	}
+	var prev float64 = -1
+	for i, bound := range bounds {
+		s := fam.find(name+"_bucket", map[string]string{"le": formatFloat(bound)})
+		if s == nil {
+			t.Fatalf("%s: no bucket le=%v", name, bound)
+		}
+		if s.value != wantCum[i] {
+			t.Errorf("%s: bucket le=%v = %v, want %v", name, bound, s.value, wantCum[i])
+		}
+		if s.value < prev {
+			t.Errorf("%s: buckets not cumulative at le=%v", name, bound)
+		}
+		prev = s.value
+	}
+	inf := fam.find(name+"_bucket", map[string]string{"le": "+Inf"})
+	count := fam.find(name+"_count", nil)
+	sum := fam.find(name+"_sum", nil)
+	if inf == nil || count == nil || sum == nil {
+		t.Fatalf("%s: missing +Inf/_count/_sum series", name)
+	}
+	if inf.value != float64(wantCount) || count.value != float64(wantCount) {
+		t.Errorf("%s: +Inf=%v _count=%v, want %d (must agree)", name, inf.value, count.value, wantCount)
+	}
+	if inf.value < prev {
+		t.Errorf("%s: +Inf bucket below last finite bucket", name)
+	}
+	if math.Abs(sum.value-wantSum) > 1e-9 {
+		t.Errorf("%s: _sum = %v, want %v", name, sum.value, wantSum)
+	}
+}
+
+// TestPrometheusTextJSONStability: the JSON round-trip promise — a snapshot
+// re-rendered after JSON encode/decode is byte-identical (guards against the
+// exposition depending on unexported state).
+func TestPrometheusTextJSONStability(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "k", "v").Add(3)
+	reg.Gauge("b").Set(1.5)
+	reg.Histogram("c_seconds", []float64{1, 2}).Observe(1.5)
+	reg.Help("a_total", "alpha")
+	snap := reg.Snapshot()
+	text := snap.PrometheusText()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.PrometheusText(); got != text {
+		t.Errorf("JSON round-trip changed exposition:\n--- direct\n%s\n--- round-tripped\n%s", text, got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 )
 
 // LatencyBuckets is the default histogram layout for operation latencies in
@@ -193,6 +194,96 @@ var defaultRegistry = NewRegistry()
 // given an explicit one (CLIs dump it after a run).
 func Default() *Registry { return defaultRegistry }
 
+// validMetricName reports whether name matches the Prometheus data model for
+// metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches the Prometheus data model for
+// label names: [a-zA-Z_][a-zA-Z0-9_]* (colons are reserved for metric names).
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeName coerces s into a valid metric/label name by replacing every
+// illegal character with '_' (and prefixing '_' when the first character is
+// a digit). Used outside tests so a bad name degrades the series, not the
+// process; inside tests the registry panics instead so the bad name is fixed
+// at the source (see checkName).
+func sanitizeName(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i := range b {
+		c := b[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(allowColon && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		b[0] = '_'
+	}
+	return string(b)
+}
+
+// checkMetricName validates name against the Prometheus data model. Invalid
+// names panic under `go test` (catch the typo where it is written) and are
+// sanitized in production (an ugly series beats a crashed server).
+func checkMetricName(name string) string {
+	if validMetricName(name) {
+		return name
+	}
+	if testing.Testing() {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name))
+	}
+	return sanitizeName(name, true)
+}
+
+// checkLabelName is checkMetricName for label names.
+func checkLabelName(name string) string {
+	if validLabelName(name) {
+		return name
+	}
+	if testing.Testing() {
+		panic(fmt.Sprintf("obs: invalid label name %q (want [a-zA-Z_][a-zA-Z0-9_]*)", name))
+	}
+	return sanitizeName(name, false)
+}
+
 // makeLabels validates and sorts variadic k,v pairs.
 func makeLabels(kv []string) []Label {
 	if len(kv) == 0 {
@@ -203,7 +294,7 @@ func makeLabels(kv []string) []Label {
 	}
 	out := make([]Label, 0, len(kv)/2)
 	for i := 0; i < len(kv); i += 2 {
-		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+		out = append(out, Label{Name: checkLabelName(kv[i]), Value: kv[i+1]})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -230,8 +321,11 @@ func metricKey(name string, labels []Label) string {
 }
 
 // Counter returns the counter for (name, labels...), creating it on first
-// use. Labels are alternating name,value pairs.
+// use. Labels are alternating name,value pairs. Names and label names are
+// validated against the Prometheus data model: invalid ones panic under `go
+// test` and are sanitized to '_' runs in production.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
+	name = checkMetricName(name)
 	ls := makeLabels(labels)
 	key := metricKey(name, ls)
 	r.mu.RLock()
@@ -251,7 +345,9 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 }
 
 // Gauge returns the gauge for (name, labels...), creating it on first use.
+// Names are validated like Counter's.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	name = checkMetricName(name)
 	ls := makeLabels(labels)
 	key := metricKey(name, ls)
 	r.mu.RLock()
@@ -273,8 +369,9 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 // Histogram returns the histogram for (name, labels...), creating it with
 // the given bucket bounds on first use. Later calls with different bounds
 // return the existing histogram unchanged. Bounds must be ascending; nil
-// falls back to LatencyBuckets.
+// falls back to LatencyBuckets. Names are validated like Counter's.
 func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	name = checkMetricName(name)
 	ls := makeLabels(labels)
 	key := metricKey(name, ls)
 	r.mu.RLock()
@@ -307,8 +404,11 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 }
 
 // Help attaches a description to a metric family name, emitted as a # HELP
-// line in Prometheus exposition.
+// line in Prometheus exposition. The name is validated (and sanitized in
+// production) exactly like Counter's, so the HELP line always joins the
+// series it describes.
 func (r *Registry) Help(name, text string) {
+	name = checkMetricName(name)
 	r.mu.Lock()
 	r.help[name] = text
 	r.mu.Unlock()

@@ -100,6 +100,14 @@ func escapeLabel(v string) string {
 	return v
 }
 
+// escapeHelp escapes HELP text per the Prometheus text format: backslashes
+// and newlines only (quotes are legal in HELP, unlike in label values).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
 // labelString renders {k="v",...}, with extra appended last (for le=).
 func labelString(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
@@ -138,7 +146,7 @@ func (s *Snapshot) PrometheusText() string {
 		}
 		typed[name] = true
 		if help, ok := s.Help[name]; ok {
-			b.WriteString("# HELP " + name + " " + strings.ReplaceAll(help, "\n", " ") + "\n")
+			b.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
 		}
 		b.WriteString("# TYPE " + name + " " + kind + "\n")
 	}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanEndIdempotent: End may be called any number of times, from any
+// goroutine; the first call freezes the duration and later calls return it.
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("once")
+	first := sp.End()
+	time.Sleep(2 * time.Millisecond)
+	if again := sp.End(); again != first {
+		t.Errorf("second End changed duration: %v -> %v", first, again)
+	}
+	if d := sp.Duration(); d != first {
+		t.Errorf("Duration after End = %v, want frozen %v", d, first)
+	}
+
+	// Concurrent Ends on one span must agree (and not race).
+	sp2 := tr.Start("racy-end")
+	var wg sync.WaitGroup
+	durs := make([]time.Duration, 8)
+	for i := range durs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			durs[i] = sp2.End()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(durs); i++ {
+		if durs[i] != durs[0] {
+			t.Fatalf("concurrent End disagreed: %v vs %v", durs[0], durs[i])
+		}
+	}
+}
+
+// TestTracerConcurrentReadersWriters is the -race regression test for the
+// tracer: spans start, branch, end, and render concurrently — the shape of a
+// serving drill where batches trace themselves while an operator hits the
+// ops surface that renders the span tree.
+func TestTracerConcurrentReadersWriters(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start(fmt.Sprintf("w%d-batch-%d", w, i))
+				c1 := sp.Child("classify")
+				c2 := sp.Child("accounting")
+				c1.End()
+				c2.End()
+				sp.End()
+			}
+		}(w)
+	}
+	// Concurrent readers: Roots, Render, Duration on live spans.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, sp := range tr.Roots() {
+						_ = sp.Duration()
+						_ = sp.Children()
+						_ = sp.Name()
+					}
+					_ = tr.Render()
+				}
+			}
+		}()
+	}
+
+	// Wait for the writers, then release the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4*50; {
+			i = len(tr.Roots())
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+
+	roots := tr.Roots()
+	if len(roots) != 4*50 {
+		t.Fatalf("got %d roots, want %d", len(roots), 4*50)
+	}
+	out := tr.Render()
+	if n := strings.Count(out, "classify"); n != 4*50 {
+		t.Errorf("rendered %d classify children, want %d", n, 4*50)
+	}
+	tr.Reset()
+	if len(tr.Roots()) != 0 {
+		t.Error("Reset left roots behind")
+	}
+}

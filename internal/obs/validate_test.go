@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricNameValidation: legal names pass untouched; illegal ones panic
+// under `go test` (testing.Testing() is true here, so the registry's
+// panic-in-tests mode is what we observe).
+func TestMetricNameValidation(t *testing.T) {
+	reg := NewRegistry()
+	for _, ok := range []string{
+		"a", "snake_case_total", "ns:subsystem:metric", "_leading", "A9",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("valid name %q panicked: %v", ok, r)
+				}
+			}()
+			reg.Counter(ok)
+		}()
+	}
+	for _, bad := range []string{
+		"", "9leading", "has space", "has-dash", "emoji☃", "dotted.name",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid name %q did not panic in tests", bad)
+				}
+			}()
+			reg.Counter(bad)
+		}()
+	}
+}
+
+// TestLabelNameValidation: label names reject colons (reserved for metric
+// names) and everything metric names reject.
+func TestLabelNameValidation(t *testing.T) {
+	reg := NewRegistry()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("valid label panicked: %v", r)
+			}
+		}()
+		reg.Counter("ok_total", "label_1", "any value is fine ☃")
+	}()
+	for _, bad := range []string{"with:colon", "9lead", "sp ace", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid label name %q did not panic in tests", bad)
+				}
+			}()
+			reg.Gauge("ok_gauge", bad, "v")
+		}()
+	}
+}
+
+// TestSanitizeName covers the production fallback path directly: illegal
+// characters become underscores, leading digits are replaced, and valid
+// names are returned unchanged.
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"good_name", "good_name"},
+		{"has-dash", "has_dash"},
+		{"has space.dot", "has_space_dot"},
+		{"9leading", "_leading"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := sanitizeName(c.in, true); got != c.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !validMetricName(sanitizeName(c.in, true)) {
+			t.Errorf("sanitizeName(%q) still invalid", c.in)
+		}
+	}
+	// Colons survive in metric names but not label names.
+	if got := sanitizeName("a:b", true); got != "a:b" {
+		t.Errorf("metric sanitize dropped colon: %q", got)
+	}
+	if got := sanitizeName("a:b", false); got != "a_b" {
+		t.Errorf("label sanitize kept colon: %q", got)
+	}
+}
+
+// TestHelpEscaping: HELP text with newlines and backslashes renders as a
+// single valid exposition line.
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("escaped_total").Inc()
+	reg.Help("escaped_total", "line one\nline two with \\backslash")
+	text := reg.PrometheusText()
+	want := `# HELP escaped_total line one\nline two with \\backslash`
+	if !strings.Contains(text, want) {
+		t.Errorf("HELP not escaped:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "line two") && !strings.HasPrefix(line, "# HELP") {
+			t.Errorf("HELP text leaked onto a sample line: %q", line)
+		}
+	}
+}

@@ -58,7 +58,7 @@ func TestChaosEveryTicketResolvesExactlyOnce(t *testing.T) {
 	})
 	eng.SetRebuildFault(inj.RebuildFault)
 
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		if d := inj.HandlerDelay(); d > 0 {
 			time.Sleep(d)
 		}

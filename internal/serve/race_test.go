@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -105,7 +106,7 @@ func TestConcurrentMutationAndServing(t *testing.T) {
 	reg := obs.NewRegistry()
 	eng := NewEngine(rb, EngineOptions{Obs: reg, Debounce: 200 * time.Microsecond})
 	defer eng.Close()
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) []string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) []string {
 		return snap.Apply(it).FinalTypes()
 	}, ServerOptions{Workers: 4, QueueDepth: 256, Obs: reg})
 

@@ -25,7 +25,7 @@ func retryServer(t *testing.T, queueDepth int) *blockedServer {
 	eng, reg := testEngine(t)
 	rel := make(chan struct{})
 	b := &blockedServer{started: make(chan struct{}, 64)}
-	b.srv = NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	b.srv = NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		b.started <- struct{}{}
 		<-rel
 		return it.ID

@@ -24,8 +24,10 @@ var (
 
 // Handler classifies one item against one immutable snapshot. It is called
 // from worker goroutines and must be safe for concurrent use with distinct
-// items (snapshots are immutable; per-item state is worker-local).
-type Handler[R any] func(snap *Snapshot, it *catalog.Item) R
+// items (snapshots are immutable; per-item state is worker-local). ctx is
+// the submitter's context and carries the request ID (obs.RequestID) for
+// decision provenance.
+type Handler[R any] func(ctx context.Context, snap *Snapshot, it *catalog.Item) R
 
 // ServerOptions parameterizes a Server. Zero values take defaults.
 type ServerOptions struct {
@@ -36,6 +38,12 @@ type ServerOptions struct {
 	QueueDepth int
 	// Obs receives the server's metrics (default: the engine's registry).
 	Obs *obs.Registry
+	// Audit, when non-nil, receives a DecisionRecord for every item the
+	// server fails before classification: shed at submit, declined during
+	// shutdown drain, or expired in the queue. (Classification-time records
+	// are the handler's job — the server never sees its verdicts.) These
+	// records are biased, so they bypass sampling.
+	Audit *obs.AuditLog
 }
 
 // request is one submitted batch and its resolution slot.
@@ -87,9 +95,10 @@ func (t *Ticket[R]) WaitContext(ctx context.Context) ([]R, *Snapshot, error) {
 // explicitly declined when the drain deadline expires), and queue depth /
 // sheds / served / expired counts are recorded in obs.
 type Server[R any] struct {
-	eng *Engine
-	h   Handler[R]
-	obs *obs.Registry
+	eng   *Engine
+	h     Handler[R]
+	obs   *obs.Registry
+	audit *obs.AuditLog
 
 	mu        sync.RWMutex // guards closed + the queue-close transition
 	closed    bool
@@ -137,6 +146,7 @@ func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] 
 		eng:      eng,
 		h:        h,
 		obs:      reg,
+		audit:    opts.Audit,
 		queue:    make(chan *request[R], queueDepth),
 		abort:    make(chan struct{}),
 		depth:    reg.Gauge(MetricQueueDepth),
@@ -176,6 +186,9 @@ func (s *Server[R]) SubmitCtx(ctx context.Context, items []*catalog.Item) (*Tick
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Every request carries an ID end-to-end: the handler reads it back with
+	// obs.RequestID and stamps it on each item's decision record.
+	ctx, _ = obs.EnsureRequestID(ctx, "req")
 	req := &request[R]{items: items, ctx: ctx, done: make(chan struct{})}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -192,7 +205,27 @@ func (s *Server[R]) SubmitCtx(ctx context.Context, items []*catalog.Item) (*Tick
 	default:
 		s.depth.Add(-1)
 		s.shed.Inc()
+		s.auditFailure(ctx, items, obs.OutcomeShed, "queue full")
 		return nil, ErrQueueFull
+	}
+}
+
+// auditFailure records one always-captured decision record per item for
+// requests the server resolves without classification. SnapshotVersion is 0:
+// no snapshot was ever consulted.
+func (s *Server[R]) auditFailure(ctx context.Context, items []*catalog.Item, outcome, reason string) {
+	if !s.audit.Enabled() {
+		return
+	}
+	id := obs.RequestID(ctx)
+	for _, it := range items {
+		s.audit.Observe(&obs.DecisionRecord{
+			RequestID: id,
+			ItemID:    it.ID,
+			Path:      obs.PathServe,
+			Outcome:   outcome,
+			Reason:    reason,
+		})
 	}
 }
 
@@ -205,6 +238,7 @@ func (s *Server[R]) worker() {
 			// Drain deadline expired: decline explicitly, never drop.
 			req.err = ErrDeclined
 			s.declined.Add(int64(len(req.items)))
+			s.auditFailure(req.ctx, req.items, obs.OutcomeDrain, "shutdown drain deadline expired")
 			close(req.done)
 			continue
 		default:
@@ -214,6 +248,7 @@ func (s *Server[R]) worker() {
 		if err := req.ctx.Err(); err != nil {
 			req.err = err
 			s.expired.Inc()
+			s.auditFailure(req.ctx, req.items, obs.OutcomeExpired, err.Error())
 			close(req.done)
 			continue
 		}
@@ -222,7 +257,7 @@ func (s *Server[R]) worker() {
 		snap := s.eng.Current()
 		out := make([]R, len(req.items))
 		for i, it := range req.items {
-			out[i] = s.h(snap, it)
+			out[i] = s.h(req.ctx, snap, it)
 		}
 		req.out, req.snap = out, snap
 		s.batches.Inc()

@@ -40,7 +40,7 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	pickedUp := make(chan struct{})
 	release := make(chan struct{})
 	first := true
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) int {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) int {
 		if first {
 			first = false
 			close(pickedUp)
@@ -94,7 +94,7 @@ func TestShutdownDeclinesQueuedRequests(t *testing.T) {
 	pickedUp := make(chan struct{})
 	release := make(chan struct{})
 	first := true
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		if first {
 			first = false
 			close(pickedUp)
@@ -168,7 +168,7 @@ func TestShutdownDeclinesQueuedRequests(t *testing.T) {
 // negative value, and the gauge must settle at exactly zero after Drain.
 func TestQueueDepthGaugeNeverNegative(t *testing.T) {
 	eng, reg := testEngine(t)
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		return it.ID
 	}, ServerOptions{Workers: 4, QueueDepth: 8, Obs: reg})
 
@@ -236,7 +236,7 @@ func TestSubmitCtxDeadlineWhileQueued(t *testing.T) {
 	pickedUp := make(chan struct{})
 	release := make(chan struct{})
 	first := true
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		if first {
 			first = false
 			close(pickedUp)
@@ -281,7 +281,7 @@ func TestSubmitCtxDeadlineWhileQueued(t *testing.T) {
 // TestSubmitCtxRejectsExpiredContext: an already-dead context never queues.
 func TestSubmitCtxRejectsExpiredContext(t *testing.T) {
 	eng, reg := testEngine(t)
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		return it.ID
 	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg})
 	defer srv.Drain()
@@ -301,7 +301,7 @@ func TestSubmitCtxRejectsExpiredContext(t *testing.T) {
 func TestWaitContextAbandonsWaitNotRequest(t *testing.T) {
 	eng, reg := testEngine(t)
 	release := make(chan struct{})
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		<-release
 		return it.ID
 	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg})
@@ -326,7 +326,7 @@ func TestWaitContextAbandonsWaitNotRequest(t *testing.T) {
 // finish; nothing is declined and a second Shutdown is a no-op.
 func TestDrainCompletesEverything(t *testing.T) {
 	eng, reg := testEngine(t)
-	srv := NewServer(eng, func(snap *Snapshot, it *catalog.Item) string {
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
 		return it.ID
 	}, ServerOptions{Workers: 2, QueueDepth: 32, Obs: reg})
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/mining"
 	"repro/internal/obs"
+	"repro/internal/opshttp"
 	"repro/internal/pattern"
 	"repro/internal/randx"
 	"repro/internal/serve"
@@ -359,6 +360,46 @@ type (
 	// BatchProfile is the per-batch operational profile (items/sec, decline
 	// rate, queue depth, per-stage decision counts).
 	BatchProfile = chimera.BatchProfile
+	// AuditLog is the decision-provenance ring: a lock-free, fixed-capacity,
+	// sampled log of per-item DecisionRecords with always-capture bias for
+	// declines, degraded service and errors.
+	AuditLog = obs.AuditLog
+	// AuditConfig parameterizes an AuditLog (capacity, sample stride).
+	AuditConfig = obs.AuditConfig
+	// DecisionRecord is one item's decision provenance: request ID, snapshot
+	// version, path taken, rules fired/vetoed, stage latencies and outcome.
+	DecisionRecord = obs.DecisionRecord
+	// StageLatency is one named stage duration inside a DecisionRecord.
+	StageLatency = obs.StageLatency
+	// OpsServer is the embeddable live-ops HTTP surface (/metrics, /healthz,
+	// /readyz, /decisions, /snapshot, /debug/pprof).
+	OpsServer = opshttp.Server
+	// OpsOptions wires an OpsServer to the process's observability state.
+	OpsOptions = opshttp.Options
+	// OpsHealthStatus is one health-probe result.
+	OpsHealthStatus = opshttp.HealthStatus
+	// OpsSnapshotInfo describes the active rule set for /snapshot.
+	OpsSnapshotInfo = opshttp.SnapshotInfo
+)
+
+// Decision-provenance paths and outcomes (DecisionRecord vocabulary).
+const (
+	DecisionPathPerItem    = obs.PathPerItem
+	DecisionPathBatchGate  = obs.PathBatchGate
+	DecisionPathClassifier = obs.PathClassifier
+	DecisionPathDegraded   = obs.PathDegraded
+	DecisionPathCrowd      = obs.PathCrowd
+	DecisionPathManual     = obs.PathManual
+	DecisionPathServe      = obs.PathServe
+
+	DecisionOutcomeClassified = obs.OutcomeClassified
+	DecisionOutcomeDeclined   = obs.OutcomeDeclined
+	DecisionOutcomeShed       = obs.OutcomeShed
+	DecisionOutcomeDrain      = obs.OutcomeDrain
+	DecisionOutcomeExpired    = obs.OutcomeExpired
+	DecisionOutcomeVerified   = obs.OutcomeVerified
+	DecisionOutcomeFlagged    = obs.OutcomeFlagged
+	DecisionOutcomeLabeled    = obs.OutcomeLabeled
 )
 
 // --- Serving layer (internal/serve) ------------------------------------------
@@ -457,4 +498,18 @@ var (
 	PlanHealthActions = core.PlanHealthActions
 	// LatencyBuckets is the default latency histogram layout (seconds).
 	LatencyBuckets = obs.LatencyBuckets
+	// NewAuditLog builds a decision-provenance ring (see AuditConfig; a
+	// negative Capacity disables capture entirely).
+	NewAuditLog = obs.NewAuditLog
+	// FormatDecisionBreakdown renders an AuditLog.Breakdown() as the aligned
+	// path × outcome table the CLI prints.
+	FormatDecisionBreakdown = obs.FormatBreakdown
+	// NewOpsServer assembles the live-ops HTTP surface (not yet listening;
+	// call Start).
+	NewOpsServer = opshttp.New
+	// WithRequestID / RequestIDFrom / NewRequestID propagate decision
+	// provenance request IDs through context.Context.
+	WithRequestID = obs.WithRequestID
+	RequestIDFrom = obs.RequestID
+	NewRequestID  = obs.NewRequestID
 )

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Classification-serving benchmark runner: the locked vs snapshot serving
-# pair and the per-item vs batch-inverted matching pair, emitted as a
-# machine-readable summary in BENCH_PR3.json (the bench trajectory artifact).
+# pair, the per-item vs batch-inverted matching pair, and the decision-
+# provenance (audit) overhead trio, emitted as a machine-readable summary in
+# BENCH_PR6.json (the bench trajectory artifact).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s, e.g. "5x" or "3s")
 set -eu
@@ -9,13 +10,21 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
+# The audit trio runs a full pipeline pass per op (seconds each), so a
+# duration-based benchtime would give it one noisy iteration; pin a fixed
+# iteration count instead.
+AUDIT_BENCHTIME="${AUDIT_BENCHTIME:-6x}"
 PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
-OUT=BENCH_PR3.json
+AUDIT_PATTERN='^BenchmarkBatchClassifyAudit(Off|Default|Full)$'
+OUT=BENCH_PR6.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench (benchtime=$BENCHTIME) =="
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
+
+echo "== go test -bench audit overhead (benchtime=$AUDIT_BENCHTIME) =="
+go test -run '^$' -bench "$AUDIT_PATTERN" -benchtime "$AUDIT_BENCHTIME" . | tee -a "$RAW"
 
 awk '
 /^Benchmark/ {
@@ -41,8 +50,16 @@ END {
     snap = 0
     if (ns["BenchmarkServeSnapshotUnderMutation"] > 0)
         snap = ns["BenchmarkServeLockedUnderMutation"] / ns["BenchmarkServeSnapshotUnderMutation"]
+    audit = 0
+    if (ns["BenchmarkBatchClassifyAuditOff"] > 0)
+        audit = ns["BenchmarkBatchClassifyAuditDefault"] / ns["BenchmarkBatchClassifyAuditOff"]
+    auditfull = 0
+    if (ns["BenchmarkBatchClassifyAuditOff"] > 0)
+        auditfull = ns["BenchmarkBatchClassifyAuditFull"] / ns["BenchmarkBatchClassifyAuditOff"]
     printf "  \"batch_inverted_speedup_vs_per_item\": %.2f,\n", batch
-    printf "  \"snapshot_speedup_vs_locked\": %.2f\n", snap
+    printf "  \"snapshot_speedup_vs_locked\": %.2f,\n", snap
+    printf "  \"audit_overhead_ratio_default_sampling\": %.4f,\n", audit
+    printf "  \"audit_overhead_ratio_full_capture\": %.4f\n", auditfull
     print "}"
 }
 ' "$RAW" > "$OUT"
