@@ -3,10 +3,13 @@ package chimera
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // fixture builds a catalog, a trained pipeline with a starter rulebase, and
@@ -692,5 +695,71 @@ func TestBatchPathMatchesPerItemPath(t *testing.T) {
 			t.Fatalf("paths diverge on item %d (%q):\nbatch:    %+v\nper-item: %+v",
 				i, items[i].Title(), db, dp)
 		}
+	}
+}
+
+// TestShardedServerMatchesDirectClassification: the scatter-gather tier,
+// wired through Pipeline.NewShardedServer, produces the same decisions as
+// the synchronous Classify path — routing and fan-out change where an item
+// is classified, never what it is classified as.
+func TestShardedServerMatchesDirectClassification(t *testing.T) {
+	cat, p := fixture(t, 21)
+	srv := p.NewShardedServer(serve.ShardedOptions{Shards: 4, Obs: obs.NewRegistry()}, nil)
+	defer srv.Close()
+
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 120, Epoch: 1})
+	tk, err := srv.Submit(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tk.Wait()
+	if res.Err() != nil {
+		t.Fatalf("gather failed: %v", res.Err())
+	}
+	spread := map[int]bool{}
+	for i, it := range batch {
+		want := p.Classify(it)
+		got := res.Results[i]
+		if got.Type != want.Type || got.Declined != want.Declined ||
+			got.Confidence != want.Confidence || got.Reason != want.Reason {
+			t.Fatalf("item %d: sharded %+v != direct %+v", i, got, want)
+		}
+		spread[res.ShardOf[i]] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("batch landed on %d shard(s) — no scatter exercised", len(spread))
+	}
+}
+
+// TestShardedServerInjectsShardContext: the pipeline's sharded handler runs
+// under a context carrying the shard index (the hook targeted fault
+// injection keys off), and a targeted injector stalls only that shard.
+func TestShardedServerInjectsShardContext(t *testing.T) {
+	cat, p := fixture(t, 22)
+	inj := faultinject.New(faultinject.Config{
+		Seed: 5, ShardStallP: 1.0, ShardStall: time.Microsecond, ShardTarget: 1,
+	})
+	srv := p.NewShardedServer(serve.ShardedOptions{Shards: 3, Obs: obs.NewRegistry()}, inj)
+	defer srv.Close()
+
+	batch := cat.GenerateBatch(catalog.BatchSpec{Size: 90, Epoch: 1})
+	tk, err := srv.Submit(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Err() != nil {
+		t.Fatalf("gather failed: %v", res.Err())
+	}
+	onTarget := 0
+	for _, it := range batch {
+		if srv.ShardFor(it) == 1 {
+			onTarget++
+		}
+	}
+	if onTarget == 0 {
+		t.Skip("no items routed to the stalled shard for this seed")
+	}
+	if got := inj.Counts()["shard_stall"]; got != onTarget {
+		t.Fatalf("injector stalled %d handler calls, %d items routed to the target shard", got, onTarget)
 	}
 }

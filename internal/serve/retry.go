@@ -36,6 +36,15 @@ type RetryOptions struct {
 	// (0 = unlimited). Overload that persists long enough to drain the
 	// budget degrades every later shed to an immediate ErrRetryBudget —
 	// retries are for transient overload, not a substitute for capacity.
+	//
+	// The budget is deliberately SHARED across concurrent callers: it is a
+	// lifetime circuit breaker for the whole client, not a per-call
+	// allowance, so a thundering herd drains it once instead of each caller
+	// retrying MaxAttempts times against a saturated queue. Per-call
+	// isolation is what MaxAttempts provides (each Submit retries at most
+	// MaxAttempts times regardless of other callers); callers needing fully
+	// independent budgets use one Retrier per caller — and a reservation
+	// whose backoff sleep is cancelled by ctx is refunded, never burned.
 	Budget int64
 	// Seed makes the jitter deterministic for tests and chaos runs.
 	Seed uint64
@@ -117,6 +126,17 @@ func (r *Retrier[R]) takeBudget() bool {
 	return true
 }
 
+// refundBudget returns an unused reservation: the caller took budget for a
+// re-submission that never happened (its backoff sleep was cancelled), and
+// a budget that counts re-submissions must not charge for it.
+func (r *Retrier[R]) refundBudget() {
+	r.mu.Lock()
+	if r.budget >= 0 {
+		r.budget++
+	}
+	r.mu.Unlock()
+}
+
 // jitter draws the full-jitter sleep for the given attempt (0-based).
 func (r *Retrier[R]) jitter(attempt int) time.Duration {
 	ceiling := r.opts.BaseDelay << uint(attempt)
@@ -144,6 +164,9 @@ func (r *Retrier[R]) Submit(ctx context.Context, items []*catalog.Item) (*Ticket
 			return nil, ErrRetryBudget
 		}
 		if err := r.opts.Sleep(ctx, r.jitter(attempt)); err != nil {
+			// The reserved re-submission never happened: refund it so a
+			// caller-side cancellation does not charge the shared breaker.
+			r.refundBudget()
 			r.giveUp.Inc()
 			return nil, err
 		}

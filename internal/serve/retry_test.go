@@ -185,3 +185,66 @@ func TestRetrierJitterIsCappedAndDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRetrierRefundsBudgetOnCancelledSleep (regression): a budget
+// reservation whose backoff sleep is cut short by ctx cancellation funds no
+// re-submission and must be refunded — before the fix, impatient callers
+// drained the shared breaker without ever retrying, so later callers were
+// shed with ErrRetryBudget while the budget's worth of retries had never
+// been spent against the queue.
+func TestRetrierRefundsBudgetOnCancelledSleep(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	r := NewRetrier(b.srv, RetryOptions{
+		MaxAttempts: 2, Budget: 5, Seed: 11,
+		// Every backoff sleep is "interrupted": the reservation never turns
+		// into a re-submission.
+		Sleep: func(ctx context.Context, d time.Duration) error { return context.Canceled },
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := r.Submit(context.Background(), oneItem("impatient")); !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit %d: got %v, want context.Canceled", i, err)
+		}
+	}
+	if got := r.Budget(); got != 5 {
+		t.Fatalf("cancelled sleeps burned the budget: %d of 5 left, want all 5 refunded", got)
+	}
+	if got := b.srv.Registry().Counter(MetricRetryAttempts).Value(); got != 0 {
+		t.Fatalf("%d re-submissions recorded, want 0 — nothing should have charged the budget", got)
+	}
+}
+
+// TestRetrierSharedBudgetAccounting: the budget is one shared pool — under
+// concurrent permanently-shed submits, total recorded re-submission attempts
+// equal exactly the configured budget, never attempts × callers.
+func TestRetrierSharedBudgetAccounting(t *testing.T) {
+	b := retryServer(t, 1)
+	b.saturate(t)
+
+	const budget = 7
+	r := NewRetrier(b.srv, RetryOptions{
+		MaxAttempts: 3, Budget: budget, Seed: 13,
+		Sleep: func(ctx context.Context, d time.Duration) error { return nil },
+	})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				_, err := r.Submit(context.Background(), oneItem("herd"))
+				if !errors.Is(err, ErrQueueFull) {
+					t.Errorf("got %v, want an ErrQueueFull-class shed", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Budget(); got != 0 {
+		t.Fatalf("budget = %d after the herd, want 0", got)
+	}
+	if got := b.srv.Registry().Counter(MetricRetryAttempts).Value(); got != budget {
+		t.Fatalf("herd spent %d re-submissions, want exactly the shared budget %d", got, budget)
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzShardRouter fuzzes the routing contract over arbitrary keys and shard
+// counts: routing is total (always a shard in range), deterministic (same
+// key, same shard — including on an independently constructed router), and
+// stable under resizing (growing to shards+1 either keeps a key in place or
+// moves it to the new shard, never reshuffles it among survivors). The seed
+// corpus in testdata/fuzz/FuzzShardRouter pins the interesting edges: empty
+// key, non-UTF8 bytes, degenerate shard counts, replica extremes.
+func FuzzShardRouter(f *testing.F) {
+	f.Add("", uint8(1), uint8(0))
+	f.Add("vendor-acme", uint8(4), uint8(64))
+	f.Add("\x00\xff\xfe", uint8(7), uint8(1))
+	f.Add("the same key", uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, key string, shards, replicas uint8) {
+		n := int(shards%32) + 1 // 1..32 shards keeps construction cheap
+		rep := int(replicas % 16)
+		r := NewShardRouter(n, rep)
+		if r.Shards() != n {
+			t.Fatalf("router built with %d shards reports %d", n, r.Shards())
+		}
+		sd := r.ShardFor(key)
+		if sd < 0 || sd >= n {
+			t.Fatalf("key %q routed outside [0,%d): %d", key, n, sd)
+		}
+		if again := r.ShardFor(key); again != sd {
+			t.Fatalf("key %q not deterministic: %d then %d", key, sd, again)
+		}
+		if o := NewShardRouter(n, rep).ShardFor(key); o != sd {
+			t.Fatalf("independently built router disagrees on %q: %d vs %d", key, sd, o)
+		}
+		grown := NewShardRouter(n+1, rep)
+		if g := grown.ShardFor(key); g != sd && g != n {
+			t.Fatalf("grow %d->%d moved key %q from %d to surviving shard %d", n, n+1, key, sd, g)
+		}
+	})
+}

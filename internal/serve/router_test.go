@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardRouterTotalAndDeterministic(t *testing.T) {
+	r := NewShardRouter(5, 0)
+	other := NewShardRouter(5, 0) // independently built, must agree
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("vendor-%d", i)
+		sd := r.ShardFor(key)
+		if sd < 0 || sd >= r.Shards() {
+			t.Fatalf("key %q routed outside [0,%d): %d", key, r.Shards(), sd)
+		}
+		if again := r.ShardFor(key); again != sd {
+			t.Fatalf("key %q not deterministic: %d then %d", key, sd, again)
+		}
+		if o := other.ShardFor(key); o != sd {
+			t.Fatalf("independently built router disagrees on %q: %d vs %d", key, sd, o)
+		}
+	}
+}
+
+func TestShardRouterClampsDegenerateConfigs(t *testing.T) {
+	for _, r := range []*ShardRouter{
+		NewShardRouter(0, 0),
+		NewShardRouter(-3, -7),
+		NewShardRouter(1, 1),
+	} {
+		if r.Shards() != 1 {
+			t.Fatalf("degenerate config clamped to %d shards, want 1", r.Shards())
+		}
+		if sd := r.ShardFor("anything"); sd != 0 {
+			t.Fatalf("single-shard router sent a key to shard %d", sd)
+		}
+	}
+}
+
+// TestShardRouterBalance: with default replicas, no shard owns a wildly
+// disproportionate slice of a realistic key population.
+func TestShardRouterBalance(t *testing.T) {
+	const shards, keys = 4, 8000
+	r := NewShardRouter(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.ShardFor(fmt.Sprintf("vendor-%d", i))]++
+	}
+	for sd, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %d owns %.1f%% of keys (counts %v) — ring badly unbalanced",
+				sd, 100*frac, counts)
+		}
+	}
+}
+
+// TestShardRouterResizeStability: growing N -> N+1 shards moves keys only to
+// the new shard; keys never reshuffle among the surviving shards. This is
+// the property that lets an operator add capacity without invalidating every
+// shard's warmed snapshot and backlog.
+func TestShardRouterResizeStability(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		before := NewShardRouter(n, 0)
+		after := NewShardRouter(n+1, 0)
+		moved := 0
+		for i := 0; i < 4000; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			b, a := before.ShardFor(key), after.ShardFor(key)
+			if b == a {
+				continue
+			}
+			moved++
+			if a != n {
+				t.Fatalf("grow %d->%d: key %q moved %d->%d, not to the new shard %d",
+					n, n+1, key, b, a, n)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("grow %d->%d: no key moved to the new shard — it owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestShardRouterSpreadsSimilarKeys (regression): sequential key families
+// ("vendor-001", "vendor-002", …) must spread across shards. Raw FNV-1a
+// barely diffuses trailing bytes, so before the finalizer mix an entire
+// 40-vendor population landed on one shard of four.
+func TestShardRouterSpreadsSimilarKeys(t *testing.T) {
+	r := NewShardRouter(4, 0)
+	hit := map[int]int{}
+	for i := 0; i < 40; i++ {
+		hit[r.ShardFor(fmt.Sprintf("vendor-%03d", i))]++
+	}
+	if len(hit) < 3 {
+		t.Fatalf("40 sequential vendor keys landed on only %d of 4 shards: %v", len(hit), hit)
+	}
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Classification-serving benchmark runner: the locked vs snapshot serving
-# pair, the per-item vs batch-inverted matching pair, and the decision-
-# provenance (audit) overhead trio, emitted as a machine-readable summary in
-# BENCH_PR6.json (the bench trajectory artifact).
+# pair, the per-item vs batch-inverted matching pair, the decision-
+# provenance (audit) overhead trio, and the sharded-vs-single scatter-gather
+# throughput ladder (1/2/4/8 shards), emitted as a machine-readable summary
+# in BENCH_PR7.json (the bench trajectory artifact).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s, e.g. "5x" or "3s")
 set -eu
@@ -14,9 +15,13 @@ BENCHTIME="${1:-2s}"
 # duration-based benchtime would give it one noisy iteration; pin a fixed
 # iteration count instead.
 AUDIT_BENCHTIME="${AUDIT_BENCHTIME:-6x}"
+# The sharded ladder is latency-bound (per-item downstream stand-in sleep),
+# so each rung converges quickly; 1s keeps the five rungs under ~10s total.
+SHARDED_BENCHTIME="${SHARDED_BENCHTIME:-1s}"
 PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
 AUDIT_PATTERN='^BenchmarkBatchClassifyAudit(Off|Default|Full)$'
-OUT=BENCH_PR6.json
+SHARDED_PATTERN='^BenchmarkShardedServe(SingleEngine|Shards[1248])$'
+OUT=BENCH_PR7.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -25,6 +30,9 @@ go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
 
 echo "== go test -bench audit overhead (benchtime=$AUDIT_BENCHTIME) =="
 go test -run '^$' -bench "$AUDIT_PATTERN" -benchtime "$AUDIT_BENCHTIME" . | tee -a "$RAW"
+
+echo "== go test -bench sharded scatter-gather ladder (benchtime=$SHARDED_BENCHTIME) =="
+go test -run '^$' -bench "$SHARDED_PATTERN" -benchtime "$SHARDED_BENCHTIME" . | tee -a "$RAW"
 
 awk '
 /^Benchmark/ {
@@ -56,10 +64,21 @@ END {
     auditfull = 0
     if (ns["BenchmarkBatchClassifyAuditOff"] > 0)
         auditfull = ns["BenchmarkBatchClassifyAuditFull"] / ns["BenchmarkBatchClassifyAuditOff"]
+    # The sharded ladder serves a fixed-size batch per op, so the ns/op
+    # ratio IS the items/sec ratio.
+    single = ns["BenchmarkShardedServeSingleEngine"]
+    sh1 = 0; if (ns["BenchmarkShardedServeShards1"] > 0) sh1 = single / ns["BenchmarkShardedServeShards1"]
+    sh2 = 0; if (ns["BenchmarkShardedServeShards2"] > 0) sh2 = single / ns["BenchmarkShardedServeShards2"]
+    sh4 = 0; if (ns["BenchmarkShardedServeShards4"] > 0) sh4 = single / ns["BenchmarkShardedServeShards4"]
+    sh8 = 0; if (ns["BenchmarkShardedServeShards8"] > 0) sh8 = single / ns["BenchmarkShardedServeShards8"]
     printf "  \"batch_inverted_speedup_vs_per_item\": %.2f,\n", batch
     printf "  \"snapshot_speedup_vs_locked\": %.2f,\n", snap
     printf "  \"audit_overhead_ratio_default_sampling\": %.4f,\n", audit
-    printf "  \"audit_overhead_ratio_full_capture\": %.4f\n", auditfull
+    printf "  \"audit_overhead_ratio_full_capture\": %.4f,\n", auditfull
+    printf "  \"sharded_speedup_1x_vs_single\": %.2f,\n", sh1
+    printf "  \"sharded_speedup_2x_vs_single\": %.2f,\n", sh2
+    printf "  \"sharded_speedup_4x_vs_single\": %.2f,\n", sh4
+    printf "  \"sharded_speedup_8x_vs_single\": %.2f\n", sh8
     print "}"
 }
 ' "$RAW" > "$OUT"

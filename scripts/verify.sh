@@ -17,12 +17,12 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test -race (obs, core, serve incl. chaos harness, catalog, faultinject, crowd, opshttp) =="
+echo "== go test -race (obs, core, serve incl. sim soak + sharded chaos harness, catalog, faultinject, crowd, opshttp) =="
 go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog \
     ./internal/faultinject ./internal/crowd ./internal/opshttp
 
-echo "== go test -race (chimera resilience + decision provenance) =="
-go test -race ./internal/chimera -run 'TestResilientClient|TestClassifyDegraded|TestProvenance'
+echo "== go test -race (chimera resilience + decision provenance + sharded tier) =="
+go test -race ./internal/chimera -run 'TestResilientClient|TestClassifyDegraded|TestProvenance|TestShardedServer'
 
 echo "== tier-1: go build ./... && go test ./... =="
 go build ./...
