@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fpItem(id, title string, extra map[string]string) *Item {
+	attrs := map[string]string{"Title": title}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	return &Item{ID: id, Attrs: attrs, TrueType: "Phones", Vendor: "vendor-001"}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := fpItem("ITM1", "apple iphone 5s", map[string]string{"Brand Name": "apple", "Price": "199.00"})
+	b := fpItem("ITM1", "apple iphone 5s", map[string]string{"Price": "199.00", "Brand Name": "apple"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal items disagree: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintExcludesGroundTruth(t *testing.T) {
+	a := fpItem("ITM1", "apple iphone 5s", nil)
+	rl := a.Relabeled("Laptop Bags")
+	if rl.Fingerprint() != a.Fingerprint() {
+		t.Fatal("Relabeled clone with unchanged attrs must share the fingerprint (TrueType is not a classifier input)")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpItem("ITM1", "apple iphone 5s", map[string]string{"Brand Name": "apple"})
+	variants := []*Item{
+		fpItem("ITM2", "apple iphone 5s", map[string]string{"Brand Name": "apple"}),
+		fpItem("ITM1", "apple iphone 6s", map[string]string{"Brand Name": "apple"}),
+		fpItem("ITM1", "apple iphone 5s", map[string]string{"Brand Name": "samsung"}),
+		fpItem("ITM1", "apple iphone 5s", map[string]string{"Brand Name": "apple", "Color": "black"}),
+		fpItem("ITM1", "apple iphone 5s", nil),
+	}
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
+// TestFingerprintStructuralBoundaries pins the delimiter scheme: shifting
+// bytes between adjacent fields must not produce the same digest.
+func TestFingerprintStructuralBoundaries(t *testing.T) {
+	a := &Item{ID: "X", Attrs: map[string]string{"ab": "c"}}
+	b := &Item{ID: "X", Attrs: map[string]string{"a": "bc"}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("attr key/value boundary collision")
+	}
+	c := &Item{ID: "Xa", Attrs: map[string]string{"b": "c"}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("ID/attr boundary collision")
+	}
+}
+
+// TestFingerprintConcurrent hammers the lazy cache from many goroutines; the
+// -race build verifies the sync.Once pattern, and every caller must see the
+// same value.
+func TestFingerprintConcurrent(t *testing.T) {
+	it := fpItem("ITM9", "stainless steel water bottles 2 pack", map[string]string{"Color": "blue"})
+	want := fpItem("ITM9", "stainless steel water bottles 2 pack", map[string]string{"Color": "blue"}).Fingerprint()
+	var wg sync.WaitGroup
+	got := make([]uint64, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = it.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("goroutine %d saw %x, want %x", i, g, want)
+		}
+	}
+}
+
+// FuzzItemFingerprint fuzzes the cache-key contract: equal content → equal
+// fingerprints (including Relabeled clones, which change only ground truth),
+// and a clone whose attribute map was swapped for edited content → a
+// different fingerprint.
+func FuzzItemFingerprint(f *testing.F) {
+	f.Add("ITM00000001", "apple iphone 5s 16gb unlocked", "Brand Name", "apple", "samsung")
+	f.Add("ITM00000002", "designer suitcase", "Color", "black", "ivory")
+	f.Add("", "", "", "", "x")
+	f.Add("ITM00000003", "2 pack value bundle", "Title", "shadowed", "title wins")
+	f.Fuzz(func(t *testing.T, id, title, key, val, val2 string) {
+		mk := func(v string) *Item {
+			return &Item{ID: id, Attrs: map[string]string{"Title": title, key: v}, TrueType: "Phones"}
+		}
+		a, b := mk(val), mk(val)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("equal items disagree: %x vs %x", a.Fingerprint(), b.Fingerprint())
+		}
+		rl := a.Relabeled("Other")
+		if rl.Fingerprint() != a.Fingerprint() {
+			t.Fatal("Relabeled clone with unchanged attrs must share the fingerprint")
+		}
+		if val2 != val {
+			edited := a.Relabeled("Other")
+			edited.Attrs = map[string]string{"Title": title, key: val2}
+			if edited.Fingerprint() == a.Fingerprint() {
+				t.Fatalf("clone with changed attrs shares fingerprint %x (key=%q %q→%q)",
+					a.Fingerprint(), key, val, val2)
+			}
+		}
+	})
+}
+
+func BenchmarkItemFingerprint(b *testing.B) {
+	items := make([]*Item, 256)
+	for i := range items {
+		items[i] = fpItem(fmt.Sprintf("ITM%08d", i), "apple iphone 5s 16gb unlocked gsm", map[string]string{
+			"Brand Name": "apple", "Price": "199.00", "Color": "black",
+		})
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it := items[i%len(items)]
+			it.fpOnce = sync.Once{}
+			_ = it.Fingerprint()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = items[i%len(items)].Fingerprint()
+		}
+	})
+}

@@ -69,6 +69,13 @@ type Config struct {
 	// Useful for A/B-ing the two paths and as the devloop fallback; single
 	// item Classify always uses the per-item path.
 	PerItem bool
+	// CacheCapacity bounds the snapshot engine's verdict cache (see
+	// serve.VerdictCache): classifier-stage verdicts are memoized by (item
+	// fingerprint, snapshot version), so re-submitted items under an
+	// unchanged rulebase skip rule evaluation. 0 disables caching (the
+	// default — per-rule executor telemetry then counts every serving; with
+	// a cache it counts evaluations only).
+	CacheCapacity int
 	// Obs receives the pipeline's metrics (default obs.Default(), the
 	// process-wide registry the CLIs dump with -metrics).
 	Obs *obs.Registry
@@ -274,7 +281,10 @@ func New(cfg Config) *Pipeline {
 		Audit:    cfg.Audit,
 	}
 	p.Rules.Instrument(p.Obs)
-	p.snaps = serve.NewEngine(p.Rules, serve.EngineOptions{Obs: p.Obs})
+	p.snaps = serve.NewEngine(p.Rules, serve.EngineOptions{
+		Obs:   p.Obs,
+		Cache: serve.CacheConfig{Capacity: cfg.CacheCapacity},
+	})
 	p.Obs.Help(MetricDecisions, "decisions per deciding stage / decline family")
 	p.Obs.Help(MetricQueueDepth, "items awaiting manual classification")
 	return p
@@ -321,6 +331,11 @@ func (p *Pipeline) NewShardedServer(opts serve.ShardedOptions, faults *faultinje
 	}
 	if opts.Audit == nil {
 		opts.Audit = p.Audit
+	}
+	if opts.Cache.Capacity == 0 && p.cfg.CacheCapacity > 0 {
+		// Inherit the pipeline's cache sizing: each shard gets its own
+		// private cache of this capacity (see serve.ShardedOptions.Cache).
+		opts.Cache = serve.CacheConfig{Capacity: p.cfg.CacheCapacity}
 	}
 	return serve.NewShardedServer(p.Rules, func(ctx context.Context, snap *serve.Snapshot, it *catalog.Item) Decision {
 		if d := faults.HandlerDelay(); d > 0 {
@@ -408,7 +423,7 @@ func (p *Pipeline) classifyWith(ctx context.Context, it *catalog.Item, snap *ser
 		return d
 	}
 	start = time.Now()
-	rv := snap.Rules().Apply(it)
+	rv := snap.ApplyCached(it)
 	d := p.voteDecision(it, snap, rv)
 	p.auditDecision(ctx, snap.Version(), d, obs.PathPerItem, gv, rv, "gate", gateD, "classify", time.Since(start))
 	return d
@@ -628,7 +643,7 @@ func (p *Pipeline) ProcessBatchCtx(ctx context.Context, items []*catalog.Item) *
 		}
 		rvs = make([]*core.Verdict, len(items))
 		if len(pending) > 0 {
-			sub := snap.ApplyBatch(pending, workers)
+			sub := snap.ApplyBatchCached(pending, workers)
 			for k, i := range pendIdx {
 				rvs[i] = sub[k]
 			}

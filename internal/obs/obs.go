@@ -143,17 +143,38 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
-// attributing each observation to its bucket's upper bound. The estimate is
-// conservative (never below the true quantile's bucket).
+// Quantile estimates the q-quantile from the bucket counts, attributing each
+// observation to its bucket's upper bound. The estimate is conservative
+// (never below the true quantile's bucket) and every input has a defined,
+// finite-when-possible answer — dashboards dividing or alerting on quantiles
+// never see a surprise +Inf or a panic:
+//
+//   - an empty histogram returns 0 for every q;
+//   - q is clamped to [0, 1]; NaN is treated as 0 — so q=0 (and anything
+//     below) returns the first non-empty bucket's bound, and q=1 (and
+//     anything above) returns the last non-empty bucket's bound;
+//   - a quantile landing in the +Inf overflow bucket reports the largest
+//     finite bucket bound instead of +Inf (the same conservative cap
+//     Prometheus's histogram_quantile applies) — the layout's resolution is
+//     exhausted, not the data infinite;
+//   - a histogram whose every observation overflowed (or with no finite
+//     buckets at all) falls back to its mean, the only finite summary left.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
 	if total == 0 {
 		return 0
 	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var cum int64
 	for i := range h.counts {
@@ -162,10 +183,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i < len(h.bounds) {
 				return h.bounds[i]
 			}
-			return math.Inf(1)
+			break // overflow bucket: cap at the largest finite bound below
 		}
 	}
-	return math.Inf(1)
+	if len(h.bounds) > 0 && h.count.Load() > h.counts[len(h.counts)-1].Load() {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return h.Mean()
 }
 
 // Registry owns a namespace of metrics. The zero value is not usable; call

@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -56,11 +57,76 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	if q := h.Quantile(0.5); q != 0.1 {
 		t.Fatalf("p50 = %v, want 0.1 (bucket upper bound)", q)
 	}
-	if q := h.Quantile(1); !math.IsInf(q, 1) {
-		t.Fatalf("p100 = %v, want +Inf", q)
+	// The p100 observation (5) overflowed every bucket; the estimate caps at
+	// the largest finite bound rather than reporting +Inf.
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want 1 (largest finite bound)", q)
 	}
 	if (&Histogram{}).Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+// TestQuantileEdgeCases pins the documented contract for every degenerate
+// input: quantiles must always be defined and finite when any finite summary
+// of the data exists, so downstream consumers (dashboards, the ops drill's
+// latency lines, alert expressions) never divide by or compare against +Inf.
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	// q is clamped to [0, 1]; NaN is treated as 0.
+	for _, q := range []float64{0, -0.5, math.Inf(-1), math.NaN()} {
+		if got := h.Quantile(q); got != 0.01 {
+			t.Fatalf("Quantile(%v) = %v, want 0.01 (first non-empty bucket)", q, got)
+		}
+	}
+	for _, q := range []float64{1, 1.5, math.Inf(1)} {
+		if got := h.Quantile(q); got != 1 {
+			t.Fatalf("Quantile(%v) = %v, want 1 (largest finite bound)", q, got)
+		}
+	}
+
+	// An empty histogram returns 0 for every q, including degenerate ones.
+	empty := reg.Histogram("empty_seconds", []float64{0.01, 0.1})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Every observation overflowed: no finite bucket describes the data, so
+	// the only finite summary left is the mean.
+	over := reg.Histogram("over_seconds", []float64{0.01, 0.1})
+	over.Observe(10)
+	over.Observe(30)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := over.Quantile(q); got != 20 {
+			t.Fatalf("all-overflow Quantile(%v) = %v, want mean 20", q, got)
+		}
+	}
+
+	// A histogram with no finite buckets at all (only the implicit +Inf
+	// overflow) likewise falls back to the mean. The registry substitutes
+	// LatencyBuckets for nil bounds, so this shape is only constructible
+	// in-package — but Quantile must still not trip over it.
+	unbounded := &Histogram{counts: make([]atomic.Int64, 1)}
+	unbounded.Observe(2)
+	unbounded.Observe(4)
+	if got := unbounded.Quantile(0.99); got != 3 {
+		t.Fatalf("unbounded Quantile(0.99) = %v, want mean 3", got)
+	}
+
+	// Sanity: no input produces a non-finite result on a populated histogram.
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.75, 0.99, 1, 2, math.NaN()} {
+		for _, hh := range []*Histogram{h, over, unbounded} {
+			if got := hh.Quantile(q); math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) = %v: non-finite on a populated histogram", q, got)
+			}
+		}
 	}
 }
 

@@ -58,6 +58,10 @@ type EngineOptions struct {
 	// Obs receives the engine's metrics and the snapshots' executor
 	// telemetry (obs.Default when nil).
 	Obs *obs.Registry
+	// Cache configures the engine-owned verdict cache served through
+	// Snapshot.ApplyCached / ApplyBatchCached (see VerdictCache). The zero
+	// value disables caching.
+	Cache CacheConfig
 }
 
 // Engine owns the current Snapshot of one rulebase and keeps it fresh.
@@ -76,6 +80,11 @@ type Engine struct {
 
 	cur     atomic.Pointer[Snapshot]
 	buildMu sync.Mutex // single-flight rebuilds
+
+	// cache is the verdict cache shared across this engine's snapshot
+	// generations (nil when disabled). Entries self-invalidate on version
+	// mismatch, so the cache itself never needs flushing on swap.
+	cache *VerdictCache
 
 	// rebuildFault is the optional fault-injection hook consulted before
 	// every rebuild (see SetRebuildFault); degraded is set while the engine
@@ -132,10 +141,22 @@ func NewEngine(rb *core.Rulebase, opts EngineOptions) *Engine {
 	reg.Help(MetricSnapshotVersion, "rulebase version of the published snapshot")
 	reg.Help(MetricBuildErrors, "failed snapshot rebuilds (stale snapshot kept)")
 	reg.Help(MetricDegraded, "1 while serving a stale snapshot after a failed rebuild")
+	e.cache = NewVerdictCache(opts.Cache, reg)
 	start := time.Now()
-	e.publish(BuildSnapshot(rb, reg), time.Since(start))
+	e.publish(e.build(), time.Since(start))
 	return e
 }
+
+// build constructs a snapshot of the current rulebase with the engine's
+// verdict cache attached.
+func (e *Engine) build() *Snapshot {
+	snap := BuildSnapshot(e.rb, e.reg)
+	snap.cache = e.cache
+	return snap
+}
+
+// Cache returns the engine's verdict cache (nil when caching is disabled).
+func (e *Engine) Cache() *VerdictCache { return e.cache }
 
 // Registry returns the engine's metric registry.
 func (e *Engine) Registry() *obs.Registry { return e.reg }
@@ -183,7 +204,7 @@ func (e *Engine) rebuild() *Snapshot {
 			return e.cur.Load() // stale but valid: the resilience contract
 		}
 	}
-	snap := BuildSnapshot(e.rb, e.reg)
+	snap := e.build()
 	e.publish(snap, time.Since(start))
 	e.setDegraded(false)
 	return snap

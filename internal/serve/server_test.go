@@ -356,3 +356,96 @@ func TestDrainCompletesEverything(t *testing.T) {
 		t.Fatalf("batches counter = %d, want 12", n)
 	}
 }
+
+// TestSubmitAuditSymmetry pins the audit contract shared by the two entry
+// points: Submit and SubmitCtx must produce identical serving-failure
+// decision records — same Path / Outcome / Reason, a non-empty RequestID,
+// SnapshotVersion 0 — for both sheds at submit and declines during the
+// shutdown drain. Submit is a thin delegate of SubmitCtx (the request-ID
+// stamp lives in SubmitCtx, after the delegation point), and this regression
+// test keeps it that way: an operator grepping the decision log for shed or
+// drain records must never be able to tell which entry point the caller used.
+func TestSubmitAuditSymmetry(t *testing.T) {
+	eng, reg := testEngine(t)
+	audit := obs.NewAuditLog(obs.AuditConfig{Capacity: 64, SampleEvery: 1})
+	pickedUp := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	srv := NewServer(eng, func(_ context.Context, snap *Snapshot, it *catalog.Item) string {
+		if first {
+			first = false
+			close(pickedUp)
+			<-release
+		}
+		return snap.Apply(it).Explain()
+	}, ServerOptions{Workers: 1, QueueDepth: 2, Obs: reg, Audit: audit})
+
+	// Occupy the single worker, then park one queued request from each entry
+	// point (these become the drain declines below).
+	if _, err := srv.Submit(oneItem("blocker")); err != nil {
+		t.Fatal(err)
+	}
+	<-pickedUp
+	if _, err := srv.Submit(oneItem("drain-plain")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCtx(context.Background(), oneItem("drain-ctx")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The queue is now full: shed one request from each entry point.
+	if _, err := srv.Submit(oneItem("shed-plain")); err != ErrQueueFull {
+		t.Fatalf("Submit overflow: got %v, want ErrQueueFull", err)
+	}
+	if _, err := srv.SubmitCtx(context.Background(), oneItem("shed-ctx")); err != ErrQueueFull {
+		t.Fatalf("SubmitCtx overflow: got %v, want ErrQueueFull", err)
+	}
+
+	// Expire the drain immediately so both queued requests are declined; the
+	// blocker is released only after the abort path is engaged (same dance as
+	// TestShutdownDeclinesQueuedRequests).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+	<-ctx.Done()
+	<-srv.abort
+	close(release)
+	if err := <-shutdownErr; err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown returned %v, want context.DeadlineExceeded", err)
+	}
+
+	// One record per item per failure, from either entry point, and the
+	// records differ only in identity (RequestID / ItemID / Seq / Time).
+	checkPair := func(outcome, reason, plainItem, ctxItem string) {
+		t.Helper()
+		recs := audit.TailFiltered(64, "", obs.PathServe, outcome)
+		byItem := map[string]*obs.DecisionRecord{}
+		for _, r := range recs {
+			byItem[r.ItemID] = r
+		}
+		if len(recs) != 2 || byItem[plainItem] == nil || byItem[ctxItem] == nil {
+			t.Fatalf("%s records: got %d %v, want exactly {%s, %s}",
+				outcome, len(recs), byItem, plainItem, ctxItem)
+		}
+		for _, r := range []*obs.DecisionRecord{byItem[plainItem], byItem[ctxItem]} {
+			if r.RequestID == "" {
+				t.Fatalf("%s record for %s has no request ID", outcome, r.ItemID)
+			}
+			if r.Path != obs.PathServe || r.Outcome != outcome || r.Reason != reason {
+				t.Fatalf("%s record for %s: path=%q outcome=%q reason=%q, want %q/%q/%q",
+					outcome, r.ItemID, r.Path, r.Outcome, r.Reason, obs.PathServe, outcome, reason)
+			}
+			if r.SnapshotVersion != 0 {
+				t.Fatalf("%s record for %s: snapshot version %d, want 0 (no snapshot consulted)",
+					outcome, r.ItemID, r.SnapshotVersion)
+			}
+		}
+		if byItem[plainItem].RequestID == byItem[ctxItem].RequestID {
+			t.Fatalf("%s records share request ID %q across distinct submissions",
+				outcome, byItem[plainItem].RequestID)
+		}
+	}
+	checkPair(obs.OutcomeShed, "queue full", "shed-plain", "shed-ctx")
+	checkPair(obs.OutcomeDrain, "shutdown drain deadline expired", "drain-plain", "drain-ctx")
+}

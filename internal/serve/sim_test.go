@@ -53,6 +53,12 @@ func TestSimShardedSoakEquivalence(t *testing.T) {
 	}
 }
 
+// cacheSimSeed runs its soak with per-shard verdict caches enabled and one
+// duplicated submission per round, so the equivalence oracle also covers the
+// cached read path (hits, single-flight coalescing and stale drops under
+// mutation churn all feed the same byte-equality check).
+const cacheSimSeed = 1009
+
 func simRun(t *testing.T, seed uint64) {
 	const (
 		shards     = 4
@@ -91,12 +97,18 @@ func simRun(t *testing.T, seed uint64) {
 		ShardStallP: 0.35, ShardStall: 300 * time.Microsecond, ShardTarget: 0,
 	})
 
+	cacheOn := seed == cacheSimSeed
+	var cacheCfg CacheConfig
+	if cacheOn {
+		cacheCfg = CacheConfig{Capacity: 128}
+	}
 	reg := obs.NewRegistry()
 	srv := NewShardedServer(rb, func(ctx context.Context, snap *Snapshot, it *catalog.Item) string {
 		if d := inj.ShardDelay(ShardFromContext(ctx)); d > 0 {
 			time.Sleep(d)
 		}
-		return snap.Apply(it).Explain()
+		// ApplyCached == Apply when the seed runs uncached (nil cache).
+		return snap.ApplyCached(it).Explain()
 	}, ShardedOptions{
 		Shards:  shards,
 		Workers: 1,
@@ -105,6 +117,7 @@ func simRun(t *testing.T, seed uint64) {
 		QueueDepth: 2,
 		Debounce:   100 * time.Microsecond,
 		Obs:        reg,
+		Cache:      cacheCfg,
 	})
 
 	var books [shards]simTally
@@ -144,6 +157,13 @@ func simRun(t *testing.T, seed uint64) {
 					items: cat.GenerateBatch(catalog.BatchSpec{Size: batchSize, Epoch: round % 3}),
 				})
 			}
+		}
+		if cacheOn && len(subs) >= 2 {
+			// Re-submit the same items (same pointers) in a second concurrent
+			// submission: repeat traffic for the cache, racing lookups for the
+			// single-flight path, and a concurrency check on the items' lazy
+			// fingerprints — all still oracle-checked below.
+			subs[1].items = subs[0].items
 		}
 		deadlines := make([]time.Duration, len(subs))
 		for i := range deadlines {
@@ -297,6 +317,13 @@ func simRun(t *testing.T, seed uint64) {
 	}
 	if totalServed == 0 {
 		t.Fatalf("seed %d: sim served nothing — the harness never exercised the happy path", seed)
+	}
+	if cacheOn {
+		st := srv.CacheStats()
+		if st.Misses == 0 {
+			t.Fatalf("seed %d: cache-enabled soak never exercised the cache", seed)
+		}
+		t.Logf("sim seed %d: cache=%+v", seed, st)
 	}
 	t.Logf("sim seed %d: books=%+v oracle versions=%d faults=%v", seed, books, len(oracleSnaps), inj.Counts())
 }

@@ -1,48 +1,53 @@
 #!/usr/bin/env sh
 # Classification-serving benchmark runner: the locked vs snapshot serving
 # pair, the per-item vs batch-inverted matching pair, the decision-
-# provenance (audit) overhead trio, and the sharded-vs-single scatter-gather
-# throughput ladder (1/2/4/8 shards), emitted as a machine-readable summary
-# in BENCH_PR7.json (the bench trajectory artifact).
+# provenance (audit) overhead trio, the sharded-vs-single scatter-gather
+# throughput ladder (1/2/4/8 shards), and the verdict-cache hit-rate ladder
+# (0%/50%/90% Zipf repeat traffic vs uncached), emitted as a
+# machine-readable summary in BENCH_PR8.json (the bench trajectory
+# artifact). The emitted JSON is validated with scripts/jsoncheck before the
+# script reports success.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 2s, e.g. "5x" or "3s")
+# Usage: scripts/bench.sh [benchtime]     (default 2s, e.g. "5x" or "3s")
+#        scripts/bench.sh --emitter-selftest
+#
+# --emitter-selftest runs a canned go-bench fixture (including rows without
+# custom metrics, malformed rows, and metric units that need sanitizing)
+# through the JSON emitter and validates the result — the CI guard for the
+# emitter itself, independent of how long the real benchmarks take.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-2s}"
-# The audit trio runs a full pipeline pass per op (seconds each), so a
-# duration-based benchtime would give it one noisy iteration; pin a fixed
-# iteration count instead.
-AUDIT_BENCHTIME="${AUDIT_BENCHTIME:-6x}"
-# The sharded ladder is latency-bound (per-item downstream stand-in sleep),
-# so each rung converges quickly; 1s keeps the five rungs under ~10s total.
-SHARDED_BENCHTIME="${SHARDED_BENCHTIME:-1s}"
-PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
-AUDIT_PATTERN='^BenchmarkBatchClassifyAudit(Off|Default|Full)$'
-SHARDED_PATTERN='^BenchmarkShardedServe(SingleEngine|Shards[1248])$'
-OUT=BENCH_PR7.json
-RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
-
-echo "== go test -bench (benchtime=$BENCHTIME) =="
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
-
-echo "== go test -bench audit overhead (benchtime=$AUDIT_BENCHTIME) =="
-go test -run '^$' -bench "$AUDIT_PATTERN" -benchtime "$AUDIT_BENCHTIME" . | tee -a "$RAW"
-
-echo "== go test -bench sharded scatter-gather ladder (benchtime=$SHARDED_BENCHTIME) =="
-go test -run '^$' -bench "$SHARDED_PATTERN" -benchtime "$SHARDED_BENCHTIME" . | tee -a "$RAW"
-
-awk '
-/^Benchmark/ {
+# The awk program that turns `go test -bench` output into the JSON summary.
+# Hardening contract (pinned by --emitter-selftest):
+#   - only rows that look like a benchmark result are parsed: field 2 must
+#     be a positive integer (iterations), field 3 numeric (ns/op), field 4
+#     literally "ns/op" — anything else (garbage lines, pass/fail chatter,
+#     truncated rows) is skipped, never half-emitted;
+#   - trailing columns are value/unit pairs (b.ReportMetric output); a pair
+#     whose value is not numeric is dropped, and an odd dangling column is
+#     ignored rather than emitted keyless;
+#   - units are sanitized to JSON-key-safe names ([A-Za-z0-9_], a leading
+#     digit gets an underscore prefix: "90pct" -> "_90pct");
+#   - an input with no valid rows emits an empty benchmarks array, not a
+#     blank/malformed row.
+EMITTER='
+/^Benchmark/ && NF >= 4 && $2 ~ /^[0-9]+$/ && $4 == "ns/op" \
+    && $3 ~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns[name] = $3
     row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
-    # Trailing columns come in value/unit pairs (ReportMetric output).
     for (i = 5; i + 1 <= NF; i += 2) {
-        unit = $(i + 1); gsub(/[^A-Za-z0-9_]/, "_", unit)
-        row = row sprintf(", \"%s\": %s", unit, $i)
+        val = $i; unit = $(i + 1)
+        if (val !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/)
+            continue
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        if (unit ~ /^[0-9]/)
+            unit = "_" unit
+        if (unit == "")
+            continue
+        row = row sprintf(", \"%s\": %s", unit, val)
     }
     row = row "}"
     rows = rows (rows == "" ? "" : ",\n") row
@@ -50,7 +55,8 @@ awk '
 END {
     print "{"
     print "  \"benchmarks\": ["
-    print rows
+    if (rows != "")
+        print rows
     print "  ],"
     batch = 0
     if (ns["BenchmarkBatchClassifyBatchInverted"] > 0)
@@ -64,13 +70,17 @@ END {
     auditfull = 0
     if (ns["BenchmarkBatchClassifyAuditOff"] > 0)
         auditfull = ns["BenchmarkBatchClassifyAuditFull"] / ns["BenchmarkBatchClassifyAuditOff"]
-    # The sharded ladder serves a fixed-size batch per op, so the ns/op
-    # ratio IS the items/sec ratio.
+    # The sharded ladder and the cache ladder each serve a fixed-size batch
+    # per op, so their ns/op ratios ARE items/sec ratios.
     single = ns["BenchmarkShardedServeSingleEngine"]
     sh1 = 0; if (ns["BenchmarkShardedServeShards1"] > 0) sh1 = single / ns["BenchmarkShardedServeShards1"]
     sh2 = 0; if (ns["BenchmarkShardedServeShards2"] > 0) sh2 = single / ns["BenchmarkShardedServeShards2"]
     sh4 = 0; if (ns["BenchmarkShardedServeShards4"] > 0) sh4 = single / ns["BenchmarkShardedServeShards4"]
     sh8 = 0; if (ns["BenchmarkShardedServeShards8"] > 0) sh8 = single / ns["BenchmarkShardedServeShards8"]
+    off = ns["BenchmarkVerdictCacheOff"]
+    c0 = 0; if (ns["BenchmarkVerdictCacheHit0"] > 0)  c0 = off / ns["BenchmarkVerdictCacheHit0"]
+    c50 = 0; if (ns["BenchmarkVerdictCacheHit50"] > 0) c50 = off / ns["BenchmarkVerdictCacheHit50"]
+    c90 = 0; if (ns["BenchmarkVerdictCacheHit90"] > 0) c90 = off / ns["BenchmarkVerdictCacheHit90"]
     printf "  \"batch_inverted_speedup_vs_per_item\": %.2f,\n", batch
     printf "  \"snapshot_speedup_vs_locked\": %.2f,\n", snap
     printf "  \"audit_overhead_ratio_default_sampling\": %.4f,\n", audit
@@ -78,10 +88,80 @@ END {
     printf "  \"sharded_speedup_1x_vs_single\": %.2f,\n", sh1
     printf "  \"sharded_speedup_2x_vs_single\": %.2f,\n", sh2
     printf "  \"sharded_speedup_4x_vs_single\": %.2f,\n", sh4
-    printf "  \"sharded_speedup_8x_vs_single\": %.2f\n", sh8
+    printf "  \"sharded_speedup_8x_vs_single\": %.2f,\n", sh8
+    printf "  \"cache_speedup_hit0_vs_off\": %.2f,\n", c0
+    printf "  \"cache_speedup_hit50_vs_off\": %.2f,\n", c50
+    printf "  \"cache_speedup_hit90_vs_off\": %.2f\n", c90
     print "}"
 }
-' "$RAW" > "$OUT"
+'
+
+if [ "${1:-}" = "--emitter-selftest" ]; then
+    FIXTURE=$(mktemp); SELFOUT=$(mktemp)
+    trap 'rm -f "$FIXTURE" "$SELFOUT"' EXIT
+    cat > "$FIXTURE" <<'FIX'
+goos: linux
+BenchmarkGood-8   	     100	  12345 ns/op	     678.9 items/sec
+BenchmarkNoCustom-8	      50	    999 ns/op
+BenchmarkOddTail-8 	      10	      5 ns/op	      12.3
+BenchmarkDigitUnit-8	      10	      5 ns/op	       3.5 90pct	xyz bogus/unit
+BenchmarkBadIter-8 	      xx	      5 ns/op
+BenchmarkTruncated-8
+not a benchmark line at all
+PASS
+FIX
+    awk "$EMITTER" "$FIXTURE" > "$SELFOUT"
+    go run ./scripts/jsoncheck "$SELFOUT"
+    # The fixture's good rows must be present, the malformed ones absent.
+    for want in BenchmarkGood BenchmarkNoCustom BenchmarkOddTail BenchmarkDigitUnit _90pct; do
+        grep -q "$want" "$SELFOUT" || { echo "selftest: missing $want" >&2; exit 1; }
+    done
+    for absent in BenchmarkBadIter BenchmarkTruncated bogus; do
+        if grep -q "$absent" "$SELFOUT"; then
+            echo "selftest: emitted malformed row $absent" >&2; exit 1
+        fi
+    done
+    # An empty input still emits valid JSON (empty benchmarks array).
+    : > "$FIXTURE"
+    awk "$EMITTER" "$FIXTURE" > "$SELFOUT"
+    go run ./scripts/jsoncheck "$SELFOUT"
+    echo "emitter selftest ok"
+    exit 0
+fi
+
+BENCHTIME="${1:-2s}"
+# The audit trio runs a full pipeline pass per op (seconds each), so a
+# duration-based benchtime would give it one noisy iteration; pin a fixed
+# iteration count instead.
+AUDIT_BENCHTIME="${AUDIT_BENCHTIME:-6x}"
+# The sharded ladder is latency-bound (per-item downstream stand-in sleep),
+# so each rung converges quickly; 1s keeps the five rungs under ~10s total.
+SHARDED_BENCHTIME="${SHARDED_BENCHTIME:-1s}"
+# The cache ladder needs enough iterations to cycle its 32 pre-drawn batches
+# several times past the warm pass; 2s per rung is plenty.
+CACHE_BENCHTIME="${CACHE_BENCHTIME:-2s}"
+PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
+AUDIT_PATTERN='^BenchmarkBatchClassifyAudit(Off|Default|Full)$'
+SHARDED_PATTERN='^BenchmarkShardedServe(SingleEngine|Shards[1248])$'
+CACHE_PATTERN='^BenchmarkVerdictCache(Off|Hit0|Hit50|Hit90)$'
+OUT=BENCH_PR8.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (benchtime=$BENCHTIME) =="
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
+
+echo "== go test -bench audit overhead (benchtime=$AUDIT_BENCHTIME) =="
+go test -run '^$' -bench "$AUDIT_PATTERN" -benchtime "$AUDIT_BENCHTIME" . | tee -a "$RAW"
+
+echo "== go test -bench sharded scatter-gather ladder (benchtime=$SHARDED_BENCHTIME) =="
+go test -run '^$' -bench "$SHARDED_PATTERN" -benchtime "$SHARDED_BENCHTIME" . | tee -a "$RAW"
+
+echo "== go test -bench verdict-cache hit-rate ladder (benchtime=$CACHE_BENCHTIME) =="
+go test -run '^$' -bench "$CACHE_PATTERN" -benchtime "$CACHE_BENCHTIME" . | tee -a "$RAW"
+
+awk "$EMITTER" "$RAW" > "$OUT"
+go run ./scripts/jsoncheck "$OUT"
 
 echo
 echo "wrote $OUT:"

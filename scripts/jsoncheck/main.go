@@ -1,0 +1,53 @@
+// Command jsoncheck strictly validates that each file argument is exactly
+// one well-formed JSON document — no parse errors, no trailing garbage. It
+// exits nonzero on the first invalid file.
+//
+// It exists for the machine-written bench artifacts (BENCH_PR*.json): their
+// consumers are jq pipelines and trend dashboards, not humans, so a
+// malformed emit (trailing comma, truncated row) must fail CI loudly rather
+// than surface later as a silent jq error. jq itself is not assumed on the
+// CI image; this tool needs only the Go toolchain the build already uses.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck FILE...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("jsoncheck: %s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(any)); err != io.EOF {
+		return fmt.Errorf("trailing content after the JSON document")
+	}
+	return nil
+}

@@ -24,6 +24,12 @@ go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog
 echo "== go test -race (chimera resilience + decision provenance + sharded tier) =="
 go test -race ./internal/chimera -run 'TestResilientClient|TestClassifyDegraded|TestProvenance|TestShardedServer'
 
+echo "== bench emitter selftest + bench artifact validation =="
+sh scripts/bench.sh --emitter-selftest
+if ls BENCH_PR*.json >/dev/null 2>&1; then
+    go run ./scripts/jsoncheck BENCH_PR*.json
+fi
+
 echo "== tier-1: go build ./... && go test ./... =="
 go build ./...
 go test ./...
