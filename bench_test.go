@@ -26,6 +26,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/persist"
 	"repro/internal/randx"
 	"repro/internal/serve"
 	"repro/internal/synonym"
@@ -909,3 +910,72 @@ func BenchmarkVerdictCacheHit50(b *testing.B) { benchCacheRun(b, 0.5, benchCache
 // BenchmarkVerdictCacheHit90 is the headline rung: Zipf head traffic at a
 // 90% nominal hit rate.
 func BenchmarkVerdictCacheHit90(b *testing.B) { benchCacheRun(b, 0.9, benchCacheCap) }
+
+// --- Persistence overhead ladder (internal/persist) --------------------------
+//
+// One op = one rulebase mutation (a confidence update through the versioned
+// audit path). The three rungs price durability: no store at all, a
+// CRC-framed WAL append per mutation, and the same append with an fsync
+// barrier — the bench.sh emitter turns the ns/op ratios into
+// persist_wal_overhead_ratio / persist_wal_fsync_overhead_ratio.
+
+// benchPersistRulebase seeds a rulebase with a pool of rules to mutate.
+func benchPersistRulebase(b *testing.B) (*core.Rulebase, []string) {
+	b.Helper()
+	rb := core.NewRulebase()
+	ids := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		r, err := core.NewWhitelist("widget "+strconv.Itoa(i), "gadget")
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := rb.Add(r, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return rb, ids
+}
+
+func benchPersistMutations(b *testing.B, rb *core.Rulebase, ids []string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rb.UpdateConfidence(ids[i%len(ids)], 0.5+float64(i%50)/100, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistOff is the baseline: mutations with no store attached (the
+// change feed has no subscribers, so nothing is even cloned).
+func BenchmarkPersistOff(b *testing.B) {
+	rb, ids := benchPersistRulebase(b)
+	benchPersistMutations(b, rb, ids)
+}
+
+func benchPersistStore(b *testing.B, fsync bool) {
+	b.Helper()
+	rb, ids := benchPersistRulebase(b)
+	// Auto-snapshots off: the rung prices the append path, not compaction.
+	st, err := persist.Open(persist.Options{Dir: b.TempDir(), Fsync: fsync, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Attach(rb); err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	benchPersistMutations(b, rb, ids)
+	b.StopTimer()
+	b.ReportMetric(float64(st.WALSize())/float64(b.N), "wal_bytes/op")
+}
+
+// BenchmarkPersistWAL appends every mutation to the write-ahead log without
+// fsync (durability up to the OS page cache).
+func BenchmarkPersistWAL(b *testing.B) { benchPersistStore(b, false) }
+
+// BenchmarkPersistWALFsync adds the fsync barrier per append — the
+// power-fail-durable configuration.
+func BenchmarkPersistWALFsync(b *testing.B) { benchPersistStore(b, true) }

@@ -27,28 +27,32 @@ func seedRules(cat *repro.Catalog, rb *repro.Rulebase) error {
 
 func main() {
 	var (
-		seed      = flag.Uint64("seed", 42, "deterministic seed")
-		types     = flag.Int("types", 120, "taxonomy size")
-		trainSize = flag.Int("train", 10000, "bootstrap training items")
-		batches   = flag.Int("batches", 5, "number of incoming batches")
-		batchSize = flag.Int("batch-size", 2000, "items per batch")
-		metrics   = flag.String("metrics", "", `dump the metric snapshot after the run: "json" or "prom"`)
-		profile   = flag.Bool("profile", false, "print the per-batch stage timing tree after the run")
-		health    = flag.Int("health", 0, "print the top-N telemetry-ranked rule-health entries after the run")
-		serveFor  = flag.Duration("serve", 0, "after the batch loop, run the concurrent serving drill for this long (0 = off)")
-		shards    = flag.Int("shards", 0, "run the serving drill through the sharded scatter-gather tier with this many shards (requires -serve; 0 = single-engine drill)")
-		serveCli  = flag.Int("serve-clients", 4, "concurrent catalog clients in the serving drill")
-		serveMut  = flag.Int("serve-mutations", 50, "rule mutations per second during the serving drill")
-		chaos     = flag.Bool("chaos", false, "inject deterministic seeded faults (handler latency, rebuild stalls and failures) during the serving drill, and shrink the pool to force transient overload")
-		deadline  = flag.Duration("deadline", 0, "per-batch caller deadline in the serving drill (0 = none)")
-		retry     = flag.Int("retry", 0, "max retry-with-backoff attempts for shed submissions in the serving drill (0 = no retries)")
-		perItem   = flag.Bool("per-item", false, "classify batches item-at-a-time (reference path) instead of the batch-inverted matcher")
-		cacheCap  = flag.Int("cache", 0, "verdict-cache capacity: memoize classifier verdicts by (item fingerprint, snapshot version); per engine, so with -shards each shard gets its own cache of this size (0 = off)")
-		opsAddr   = flag.String("ops", "", `serve the live-ops HTTP surface (/metrics, /healthz, /readyz, /decisions, /snapshot, /debug/pprof) on this address for the duration of the run (e.g. "127.0.0.1:6060" or ":0")`)
-		opsLinger = flag.Duration("ops-linger", 0, "keep the ops server (and the process) up this long after the run finishes, so scrapers can read the final state (requires -ops)")
-		auditTail = flag.Int("audit", 0, "print the last N decision-provenance records as NDJSON after the run")
-		auditEach = flag.Int("audit-sample", 0, "capture 1-in-N classified decisions in the provenance ring (0 = default stride; declines, degraded service and serve failures are always captured)")
-		rebuildP  = flag.Float64("chaos-rebuild-p", 0.05, "snapshot-rebuild failure probability injected under -chaos")
+		seed         = flag.Uint64("seed", 42, "deterministic seed")
+		types        = flag.Int("types", 120, "taxonomy size")
+		trainSize    = flag.Int("train", 10000, "bootstrap training items")
+		batches      = flag.Int("batches", 5, "number of incoming batches")
+		batchSize    = flag.Int("batch-size", 2000, "items per batch")
+		metrics      = flag.String("metrics", "", `dump the metric snapshot after the run: "json" or "prom"`)
+		profile      = flag.Bool("profile", false, "print the per-batch stage timing tree after the run")
+		health       = flag.Int("health", 0, "print the top-N telemetry-ranked rule-health entries after the run")
+		serveFor     = flag.Duration("serve", 0, "after the batch loop, run the concurrent serving drill for this long (0 = off)")
+		shards       = flag.Int("shards", 0, "run the serving drill through the sharded scatter-gather tier with this many shards (requires -serve; 0 = single-engine drill)")
+		serveCli     = flag.Int("serve-clients", 4, "concurrent catalog clients in the serving drill")
+		serveMut     = flag.Int("serve-mutations", 50, "rule mutations per second during the serving drill")
+		chaos        = flag.Bool("chaos", false, "inject deterministic seeded faults (handler latency, rebuild stalls and failures) during the serving drill, and shrink the pool to force transient overload")
+		deadline     = flag.Duration("deadline", 0, "per-batch caller deadline in the serving drill (0 = none)")
+		retry        = flag.Int("retry", 0, "max retry-with-backoff attempts for shed submissions in the serving drill (0 = no retries)")
+		perItem      = flag.Bool("per-item", false, "classify batches item-at-a-time (reference path) instead of the batch-inverted matcher")
+		cacheCap     = flag.Int("cache", 0, "verdict-cache capacity: memoize classifier verdicts by (item fingerprint, snapshot version); per engine, so with -shards each shard gets its own cache of this size (0 = off)")
+		opsAddr      = flag.String("ops", "", `serve the live-ops HTTP surface (/metrics, /healthz, /readyz, /decisions, /decisions/export, /snapshot, /debug/pprof) on this address for the duration of the run (e.g. "127.0.0.1:6060" or ":0")`)
+		opsLinger    = flag.Duration("ops-linger", 0, "keep the ops server (and the process) up this long after the run finishes, so scrapers can read the final state (requires -ops)")
+		auditTail    = flag.Int("audit", 0, "print the last N decision-provenance records as NDJSON after the run")
+		auditEach    = flag.Int("audit-sample", 0, "capture 1-in-N classified decisions in the provenance ring (0 = default stride; declines, degraded service and serve failures are always captured)")
+		rebuildP     = flag.Float64("chaos-rebuild-p", 0.05, "snapshot-rebuild failure probability injected under -chaos")
+		persistDir   = flag.String("persist-dir", "", "durable rulebase store directory: restore the rulebase from it at startup (skipping the analyst seed when state exists), write-ahead-log every mutation, and compact a snapshot at exit")
+		persistFsync = flag.Bool("persist-fsync", true, "fsync every WAL append in the durable store (requires -persist-dir; disable only for throwaway runs)")
+		persistDrill = flag.Bool("persist-drill", false, "after the run, prove the durability contract live: mutate a store-attached rulebase, kill it without a parting snapshot, restore, and require byte-identical verdicts")
+		decisionsOut = flag.String("decisions-out", "", "export the retained decision-provenance ring to this file as NDJSON at the end of the run (atomic write)")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
@@ -108,9 +112,39 @@ func main() {
 		opsSrv = srv
 	}
 
+	// The durable store is wired before any rule lands in the rulebase:
+	// Restore first (so existing state wins over the analyst seed), then
+	// Attach (so every later mutation — seed included — hits the WAL).
+	var store *repro.PersistStore
+	restoredRules := false
+	if *persistDir != "" {
+		st, err := repro.OpenPersist(repro.PersistOptions{Dir: *persistDir, Fsync: *persistFsync, Obs: p.Obs})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persist: %v\n", err)
+			os.Exit(1)
+		}
+		stats, err := st.Restore(p.Rules)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persist restore: %v\n", err)
+			os.Exit(1)
+		}
+		if stats.Version > 0 {
+			restoredRules = true
+			fmt.Printf("persist: restored rulebase version %d from %s (snapshot v%d + %d WAL records replayed)\n",
+				stats.Version, *persistDir, stats.SnapshotVersion, stats.Replayed)
+		}
+		if err := st.Attach(p.Rules); err != nil {
+			fmt.Fprintf(os.Stderr, "persist attach: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+	}
+
 	fmt.Printf("bootstrapping: %d types, %d training items\n", *types, *trainSize)
 	p.Train(cat.LabeledData(*trainSize))
-	if err := seedRules(cat, p.Rules); err != nil {
+	if restoredRules {
+		fmt.Printf("persist: skipping analyst seed (%d restored rules)\n", p.Rules.Len())
+	} else if err := seedRules(cat, p.Rules); err != nil {
 		fmt.Fprintf(os.Stderr, "seeding rules: %v\n", err)
 		os.Exit(1)
 	}
@@ -171,6 +205,10 @@ func main() {
 		}
 	}
 
+	if *persistDrill {
+		persistRestartDrill(cat, p)
+	}
+
 	// Decision provenance: the per-path/outcome breakdown is exact (sampled-out
 	// decisions are still counted), the tail is whatever the ring retained.
 	fmt.Printf("\n== decision paths ==\n%s", repro.FormatDecisionBreakdown(p.Audit.Breakdown()))
@@ -183,6 +221,15 @@ func main() {
 		for _, rec := range p.Audit.Tail(*auditTail) {
 			_ = enc.Encode(rec)
 		}
+	}
+
+	if *decisionsOut != "" {
+		n, err := repro.ExportDecisions(*decisionsOut, p.Audit, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decisions export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("decisions: exported %d records to %s\n", n, *decisionsOut)
 	}
 
 	if *profile {
@@ -215,6 +262,21 @@ func main() {
 		}
 	}
 
+	if store != nil {
+		// Compact at exit: fold the run's WAL into one snapshot so the next
+		// start restores without a replay. Durability never depends on this —
+		// a kill before here replays the WAL instead.
+		if err := store.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "persist snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "persist close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("persist: rulebase version %d durable in %s\n", p.Rules.Version(), *persistDir)
+	}
+
 	if opsSrv != nil {
 		if *opsLinger > 0 {
 			time.Sleep(*opsLinger)
@@ -223,6 +285,102 @@ func main() {
 		_ = opsSrv.Close(ctx)
 		cancel()
 	}
+}
+
+// persistRestartDrill proves the durability contract live: load the
+// pipeline's rules into a store-attached rulebase, layer fresh mutations on
+// top (so the WAL has a tail), kill the store — Close never writes a parting
+// snapshot — then restore into a new rulebase and require the same version
+// and byte-identical verdicts over a fresh sample batch.
+func persistRestartDrill(cat *repro.Catalog, p *repro.Pipeline) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "persist drill: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	dir, err := os.MkdirTemp("", "chimera-persist-drill-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := repro.OpenPersist(repro.PersistOptions{Dir: dir, Fsync: true})
+	if err != nil {
+		fail("%v", err)
+	}
+	live := repro.NewRulebase()
+	if err := st.Attach(live); err != nil {
+		fail("attach: %v", err)
+	}
+	// Loading the pipeline's rule state wholesale re-baselines the store;
+	// the mutations after it land as WAL records recovery must replay.
+	state, err := json.Marshal(p.Rules)
+	if err != nil {
+		fail("marshal: %v", err)
+	}
+	if err := json.Unmarshal(state, live); err != nil {
+		fail("load: %v", err)
+	}
+	r, err := repro.NewWhitelist("vinyl records?", "vinyl")
+	if err != nil {
+		fail("%v", err)
+	}
+	id, err := live.Add(r, "drill")
+	if err != nil {
+		fail("mutate: %v", err)
+	}
+	for _, err := range []error{
+		live.UpdateConfidence(id, 0.66, "drill"),
+		live.Disable(id, "drill", "drill toggle"),
+		live.Enable(id, "drill", "drill toggle"),
+	} {
+		if err != nil {
+			fail("mutate: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil { // the kill: WAL tail stays unreplayed
+		fail("close: %v", err)
+	}
+
+	rst, err := repro.OpenPersist(repro.PersistOptions{Dir: dir})
+	if err != nil {
+		fail("reopen: %v", err)
+	}
+	restored := repro.NewRulebase()
+	stats, err := rst.Restore(restored)
+	if err != nil {
+		fail("restore: %v", err)
+	}
+	if err := rst.Close(); err != nil {
+		fail("close after restore: %v", err)
+	}
+
+	fmt.Printf("\n== persist restart drill ==\n")
+	fmt.Printf("mutated to version %d, killed, restored snapshot v%d + %d WAL records\n",
+		live.Version(), stats.SnapshotVersion, stats.Replayed)
+	if restored.Version() != live.Version() {
+		fail("restored version %d, live version %d", restored.Version(), live.Version())
+	}
+	liveJSON, err := json.Marshal(live)
+	if err != nil {
+		fail("%v", err)
+	}
+	restoredJSON, err := json.Marshal(restored)
+	if err != nil {
+		fail("%v", err)
+	}
+	if string(liveJSON) != string(restoredJSON) {
+		fail("restored rulebase state (rules + audit log) differs from live")
+	}
+	items := cat.GenerateBatch(repro.BatchSpec{Size: 200, Epoch: 1})
+	liveSnap := repro.BuildServeSnapshot(live, nil)
+	restoredSnap := repro.BuildServeSnapshot(restored, nil)
+	for i, it := range items {
+		if liveSnap.Apply(it).Explain() != restoredSnap.Apply(it).Explain() {
+			fail("verdict %d not byte-equal after restore", i)
+		}
+	}
+	fmt.Printf("verdicts byte-equal: %d/%d, rulebase state identical (version, rules, audit log)\n", len(items), len(items))
+	fmt.Printf("persist drill: OK\n")
 }
 
 // opsQueueCap mirrors the serving drill's queue capacity so the ops /readyz

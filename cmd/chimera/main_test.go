@@ -359,6 +359,141 @@ func httpGet(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
+// TestCLIPersistRestart drives the durability story through the real
+// binary: run one, mutated during its batch loop, compacts a snapshot into
+// -persist-dir; run two restores the exact version, skips the analyst seed,
+// and keeps appending from there.
+func TestCLIPersistRestart(t *testing.T) {
+	dir := t.TempDir()
+	out, err := run(t, "-persist-dir", dir)
+	if err != nil {
+		t.Fatalf("first run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "persist: rulebase version ") {
+		t.Fatalf("first run missing the durable-exit line:\n%s", out)
+	}
+	if strings.Contains(out, "persist: restored") {
+		t.Errorf("first run claims to have restored from an empty dir:\n%s", out)
+	}
+	version := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "persist: rulebase version "); ok {
+			version = strings.Fields(rest)[0]
+		}
+	}
+	if version == "" {
+		t.Fatalf("no version parsed from:\n%s", out)
+	}
+	for _, name := range []string{"snapshot.json", "wal.log"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("store file %s: %v", name, err)
+		}
+	}
+
+	out2, err := run(t, "-persist-dir", dir)
+	if err != nil {
+		t.Fatalf("second run failed: %v\n%s", err, out2)
+	}
+	for _, want := range []string{
+		"persist: restored rulebase version " + version + " from " + dir,
+		"persist: skipping analyst seed",
+		"persist: rulebase version ",
+	} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("second run missing %q:\n%s", want, out2)
+		}
+	}
+}
+
+// TestCLIPersistDrill runs the restart drill: mutate → kill (no parting
+// snapshot) → restore → byte-equal verdicts, reported live by the binary.
+func TestCLIPersistDrill(t *testing.T) {
+	out, err := run(t, "-persist-drill")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== persist restart drill ==",
+		"mutated to version ",
+		"killed, restored snapshot v",
+		"WAL records",
+		"verdicts byte-equal: 200/200",
+		"persist drill: OK",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIDecisionsOut: -decisions-out writes the retained provenance ring as
+// parseable NDJSON with the expected fields.
+func TestCLIDecisionsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.ndjson")
+	out, err := run(t, "-decisions-out", path, "-audit-sample", "1")
+	if err != nil {
+		t.Fatalf("chimera failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "decisions: exported ") || !strings.Contains(out, path) {
+		t.Fatalf("missing export line:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("export holds %d records, expected the run's decisions", len(lines))
+	}
+	for _, line := range lines[:10] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("NDJSON line did not parse: %v\n%s", err, line)
+		}
+		if rec["item_id"] == "" || rec["path"] == "" || rec["outcome"] == "" {
+			t.Errorf("decision record missing provenance fields: %s", line)
+		}
+	}
+}
+
+// TestCLIOpsDecisionsExport scrapes /decisions/export from a live -ops
+// process: full-ring NDJSON served as an attachment.
+func TestCLIOpsDecisionsExport(t *testing.T) {
+	base := startOps(t, "-ops-linger", "15s", "-audit-sample", "1")
+	if !pollStatus(base+"/healthz", 200, 30*time.Second) {
+		t.Fatal("ops surface never came up")
+	}
+	// Wait for the batch loop to finish so the ring is populated.
+	deadline := time.Now().Add(30 * time.Second)
+	var body string
+	var disposition string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/decisions/export")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			disposition = resp.Header.Get("Content-Disposition")
+			if resp.StatusCode == 200 && strings.Count(body, "\n") >= 100 {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if strings.Count(body, "\n") < 100 {
+		t.Fatalf("/decisions/export never filled up:\n%.400s", body)
+	}
+	if !strings.Contains(disposition, "attachment") {
+		t.Errorf("Content-Disposition = %q, want attachment", disposition)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n")[:5] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("export NDJSON line did not parse: %v\n%s", err, line)
+		}
+	}
+}
+
 // TestCLIResilienceFlagsRequireServe: the drill-only flags exit 2 with a
 // usage message when -serve is absent.
 func TestCLIResilienceFlagsRequireServe(t *testing.T) {

@@ -24,11 +24,34 @@ func main() {
 		overlapThr = flag.Float64("overlap", 0.4, "significant-overlap Jaccard threshold")
 		apply      = flag.Bool("apply", false, "retire subsumed/duplicate/stale rules")
 		out        = flag.String("o", "", "write the (possibly cleaned) rulebase JSON here")
+		persistDir = flag.String("persist-dir", "", "durable rulebase store directory: restore the rulebase from it (unless -in overrides), write-ahead-log every maintenance mutation, and compact a snapshot at exit")
 	)
 	flag.Parse()
 
 	cat := repro.NewCatalog(repro.CatalogConfig{Seed: *seed, NumTypes: *types})
 	rb := repro.NewRulebase()
+	var store *repro.PersistStore
+	restored := false
+	if *persistDir != "" {
+		st, err := repro.OpenPersist(repro.PersistOptions{Dir: *persistDir, Fsync: true})
+		if err != nil {
+			fatal("persist: %v", err)
+		}
+		if *in == "" {
+			// Restore before Attach; an -in file instead wins over the store
+			// (Attach re-baselines the store to the file's state below).
+			stats, err := st.Restore(rb)
+			if err != nil {
+				fatal("persist restore: %v", err)
+			}
+			if stats.Version > 0 {
+				restored = true
+				fmt.Printf("persist: restored rulebase version %d from %s (snapshot v%d + %d WAL records replayed)\n",
+					stats.Version, *persistDir, stats.SnapshotVersion, stats.Replayed)
+			}
+		}
+		store = st
+	}
 	if *in != "" {
 		data, err := os.ReadFile(*in)
 		if err != nil {
@@ -37,7 +60,7 @@ func main() {
 		if err := json.Unmarshal(data, rb); err != nil {
 			fatal("parsing %s: %v", *in, err)
 		}
-	} else {
+	} else if !restored {
 		if err := experiments.SeedRules(cat, rb, "ana"); err != nil {
 			fatal("seeding: %v", err)
 		}
@@ -52,6 +75,13 @@ func main() {
 			if r, err := mk(); err == nil {
 				_, _ = rb.Add(r, "ana2")
 			}
+		}
+	}
+	if store != nil {
+		// From here on every retire/add/retarget is write-ahead-logged; if the
+		// rulebase came from -in or the seed, Attach baselines the store first.
+		if err := store.Attach(rb); err != nil {
+			fatal("persist attach: %v", err)
 		}
 	}
 	fmt.Printf("rulebase: %d rules\n", rb.Len())
@@ -145,6 +175,15 @@ func main() {
 			fatal("write: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if store != nil {
+		if err := store.Snapshot(); err != nil {
+			fatal("persist snapshot: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			fatal("persist close: %v", err)
+		}
+		fmt.Printf("persist: rulebase version %d durable in %s\n", rb.Version(), *persistDir)
 	}
 }
 

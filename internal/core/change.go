@@ -1,0 +1,182 @@
+package core
+
+import "fmt"
+
+// Change is one completed rulebase mutation as a self-contained, applyable
+// record: the audit entry plus exactly the payload a replayer needs to
+// reproduce the state transition (the added rule's content, the new
+// confidence, the auto-ID counter). It is the unit the write-ahead log in
+// internal/persist appends, and ApplyChange is its inverse.
+type Change struct {
+	// Entry is the audit entry the mutation appended (version, action, rule
+	// ID, actor, note).
+	Entry AuditEntry
+	// Rule is a deep copy of the rule as of the mutation ("add" only): the
+	// content frozen at mutation time, safe to retain and serialize after
+	// later mutations touch the live rule.
+	Rule *Rule
+	// Status is the resulting lifecycle state ("disable"/"enable"/"retire").
+	Status Status
+	// Confidence is the new precision estimate ("update" only).
+	Confidence float64
+	// NextID is the auto-ID counter after the mutation ("add" only), so a
+	// replayed rulebase assigns the same IDs to future auto-ID adds.
+	NextID int
+}
+
+// ActionLoad is the pseudo-action delivered to change subscribers when the
+// rulebase is wholesale replaced via UnmarshalJSON. It is not an incremental
+// mutation — the version may even move backwards — so a durability layer must
+// respond by re-snapshotting the full state rather than appending.
+const ActionLoad = "load"
+
+// SubscribeChanges registers fn to receive every subsequent mutation as an
+// applyable Change record, and returns the rulebase version as of
+// registration — the two are read atomically, so every mutation with
+// Entry.Version > version is guaranteed to be delivered. Deliveries run
+// outside the rulebase lock on the mutating goroutine and may therefore
+// arrive out of version order under concurrent mutators; a durability layer
+// must reorder by Entry.Version (and drop the occasional duplicate of a
+// version ≤ the registration version from a mutation that raced
+// registration). fn must be fast and non-blocking. The returned cancel
+// removes the subscription.
+func (rb *Rulebase) SubscribeChanges(fn func(Change)) (cancel func(), version uint64) {
+	// Holding the read half of rb.mu blocks mutators for the duration of the
+	// registration, making the (subscriber set, version) pair consistent.
+	rb.mu.RLock()
+	ver := rb.version
+	rb.subMu.Lock()
+	if rb.chSubs == nil {
+		rb.chSubs = map[int]func(Change){}
+	}
+	id := rb.nextSub
+	rb.nextSub++
+	rb.chSubs[id] = fn
+	rb.subMu.Unlock()
+	rb.mu.RUnlock()
+	return func() {
+		rb.subMu.Lock()
+		delete(rb.chSubs, id)
+		rb.subMu.Unlock()
+	}, ver
+}
+
+// hasChangeSubs reports whether any change subscriber is registered, so
+// mutators can skip building the (allocating) Change payload when nobody
+// listens. Callers may hold rb.mu — the lock order is always mu before subMu.
+func (rb *Rulebase) hasChangeSubs() bool {
+	rb.subMu.RLock()
+	n := len(rb.chSubs)
+	rb.subMu.RUnlock()
+	return n > 0
+}
+
+// notifyChange delivers a mutation's Change record; callers must NOT hold
+// rb.mu.
+func (rb *Rulebase) notifyChange(ch Change) {
+	rb.subMu.RLock()
+	if len(rb.chSubs) == 0 {
+		rb.subMu.RUnlock()
+		return
+	}
+	fns := make([]func(Change), 0, len(rb.chSubs))
+	for _, fn := range rb.chSubs {
+		fns = append(fns, fn)
+	}
+	rb.subMu.RUnlock()
+	for _, fn := range fns {
+		fn(ch)
+	}
+}
+
+// statusForAction maps a lifecycle audit action to the state it produces.
+var statusForAction = map[string]Status{
+	"disable": Disabled,
+	"enable":  Active,
+	"retire":  Retired,
+}
+
+// ApplyChange replays one recorded mutation onto the rulebase, reproducing
+// the exact state transition the original mutation made: same version, same
+// audit entry (verbatim, including actor and note), same rule content and
+// clock stamps. Records must be applied in order — Entry.Version must be
+// exactly Version()+1 — which is how a WAL replayer detects gaps.
+//
+// Replay notifies version subscribers (so a serving engine tracking the
+// rulebase rebuilds) but NOT change subscribers: an attached durability layer
+// must not re-log what it is replaying. Mutation metrics are also not
+// counted — replay reconstructs history, it does not make new history.
+func (rb *Rulebase) ApplyChange(ch Change) error {
+	rb.mu.Lock()
+	if ch.Entry.Version != rb.version+1 {
+		have := rb.version
+		rb.mu.Unlock()
+		return fmt.Errorf("core: change version %d does not follow rulebase version %d", ch.Entry.Version, have)
+	}
+	switch ch.Entry.Action {
+	case "add":
+		if ch.Rule == nil {
+			rb.mu.Unlock()
+			return fmt.Errorf("core: add change %d has no rule payload", ch.Entry.Version)
+		}
+		r := ch.Rule.Clone()
+		if r.ID == "" || r.ID != ch.Entry.RuleID {
+			rb.mu.Unlock()
+			return fmt.Errorf("core: add change %d rule id %q does not match entry %q", ch.Entry.Version, r.ID, ch.Entry.RuleID)
+		}
+		if _, exists := rb.rules[r.ID]; exists {
+			rb.mu.Unlock()
+			return fmt.Errorf("core: add change %d duplicates rule %q", ch.Entry.Version, r.ID)
+		}
+		rb.rules[r.ID] = r
+		rb.order = append(rb.order, r.ID)
+		// Advance (never rewind) the auto-ID counter; max semantics keep a
+		// concurrent live add from being undone.
+		for {
+			cur := rb.nextID.Load()
+			if int64(ch.NextID) <= cur || rb.nextID.CompareAndSwap(cur, int64(ch.NextID)) {
+				break
+			}
+		}
+	case "disable", "enable", "retire":
+		r, ok := rb.rules[ch.Entry.RuleID]
+		if !ok {
+			rb.mu.Unlock()
+			return fmt.Errorf("core: %s change %d targets unknown rule %q", ch.Entry.Action, ch.Entry.Version, ch.Entry.RuleID)
+		}
+		r.Status = statusForAction[ch.Entry.Action]
+		r.UpdatedAt = ch.Entry.Version
+	case "update":
+		r, ok := rb.rules[ch.Entry.RuleID]
+		if !ok {
+			rb.mu.Unlock()
+			return fmt.Errorf("core: update change %d targets unknown rule %q", ch.Entry.Version, ch.Entry.RuleID)
+		}
+		r.Confidence = ch.Confidence
+		r.UpdatedAt = ch.Entry.Version
+	default:
+		rb.mu.Unlock()
+		return fmt.Errorf("core: change %d has unknown action %q", ch.Entry.Version, ch.Entry.Action)
+	}
+	rb.version = ch.Entry.Version
+	rb.audit = append(rb.audit, ch.Entry)
+	rb.mu.Unlock()
+	rb.notify(ch.Entry.Version)
+	return nil
+}
+
+// Clone returns a deep copy of the rule: slices are copied, the compiled
+// pattern is shared (patterns are immutable once parsed).
+func (r *Rule) Clone() *Rule {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	if r.AllowedTypes != nil {
+		c.AllowedTypes = append([]string(nil), r.AllowedTypes...)
+	}
+	if r.Guards != nil {
+		c.Guards = append([]Guard(nil), r.Guards...)
+	}
+	return &c
+}

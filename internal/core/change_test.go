@@ -1,0 +1,384 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// collectChanges subscribes and returns the slice pointer + cancel.
+func collectChanges(rb *Rulebase) (*[]Change, func(), uint64) {
+	var mu sync.Mutex
+	out := &[]Change{}
+	cancel, ver := rb.SubscribeChanges(func(ch Change) {
+		mu.Lock()
+		*out = append(*out, ch)
+		mu.Unlock()
+	})
+	return out, cancel, ver
+}
+
+func scriptedMutations(t *testing.T, rb *Rulebase) {
+	t.Helper()
+	if _, err := rb.Add(mustRule(NewWhitelist("phones?", "phone")), "ana"); err != nil {
+		t.Fatal(err)
+	}
+	guarded := mustRule(NewWhitelist("jeans?", "jeans"))
+	guarded.Guards = []Guard{{Attr: "price", Op: "<", Value: "100"}}
+	if _, err := rb.Add(guarded, "ana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(mustRule(NewAttrValue("brand", "apple", []string{"phone", "laptop"})), "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(mustRule(NewBlacklist("phone case", "phone")), "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Disable("R000001", "ana", "precision dip"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.UpdateConfidence("R000002", 0.42, "eval"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Enable("R000001", "ana", "recovered"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Retire("R000004", "ana", "subsumed"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeChangesDelivery: every mutation arrives as a Change whose
+// Entry equals the audit entry, and replaying the stream onto a fresh
+// rulebase reproduces the serialized state byte for byte.
+func TestSubscribeChangesDelivery(t *testing.T) {
+	rb := NewRulebase()
+	got, cancel, ver := collectChanges(rb)
+	defer cancel()
+	if ver != 0 {
+		t.Fatalf("registration version = %d, want 0", ver)
+	}
+
+	scriptedMutations(t, rb)
+
+	audit := rb.Audit()
+	if len(*got) != len(audit) {
+		t.Fatalf("got %d changes, want %d", len(*got), len(audit))
+	}
+	for i, ch := range *got {
+		if ch.Entry != audit[i] {
+			t.Fatalf("change %d entry = %+v, want audit %+v", i, ch.Entry, audit[i])
+		}
+		if ch.Entry.Action == "add" && ch.Rule == nil {
+			t.Fatalf("add change %d has no rule payload", i)
+		}
+	}
+
+	// Replay onto a fresh rulebase: identical version, audit, serialized form.
+	rb2 := NewRulebase()
+	for _, ch := range *got {
+		if err := rb2.ApplyChange(ch); err != nil {
+			t.Fatalf("ApplyChange(%d): %v", ch.Entry.Version, err)
+		}
+	}
+	if rb2.Version() != rb.Version() {
+		t.Fatalf("replayed version = %d, want %d", rb2.Version(), rb.Version())
+	}
+	if !reflect.DeepEqual(rb2.Audit(), rb.Audit()) {
+		t.Fatal("replayed audit log differs from live audit log")
+	}
+	live, err := json.Marshal(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := json.Marshal(rb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(live) != string(replayed) {
+		t.Fatalf("replayed state differs:\nlive:     %s\nreplayed: %s", live, replayed)
+	}
+}
+
+// TestSubscribeChangesRegistrationVersion: only mutations after the returned
+// registration version are delivered, with no gap.
+func TestSubscribeChangesRegistrationVersion(t *testing.T) {
+	rb := NewRulebase()
+	if _, err := rb.Add(mustRule(NewWhitelist("early", "t")), "a"); err != nil {
+		t.Fatal(err)
+	}
+	got, cancel, ver := collectChanges(rb)
+	defer cancel()
+	if ver != 1 {
+		t.Fatalf("registration version = %d, want 1", ver)
+	}
+	if _, err := rb.Add(mustRule(NewWhitelist("late", "t")), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].Entry.Version != 2 {
+		t.Fatalf("delivered = %+v, want exactly version 2", *got)
+	}
+	cancel()
+	if _, err := rb.Add(mustRule(NewWhitelist("after", "t")), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatal("change delivered after cancel")
+	}
+}
+
+// TestChangeRuleFrozenAtMutation: the Rule payload of an "add" change is a
+// deep copy — later live mutations must not reach into it.
+func TestChangeRuleFrozenAtMutation(t *testing.T) {
+	rb := NewRulebase()
+	got, cancel, _ := collectChanges(rb)
+	defer cancel()
+	id, err := rb.Add(mustRule(NewWhitelist("phones?", "phone")), "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Disable(id, "ana", "off"); err != nil {
+		t.Fatal(err)
+	}
+	add := (*got)[0]
+	if add.Rule.Status != Active {
+		t.Fatalf("add change rule status = %v, want Active (frozen at mutation time)", add.Rule.Status)
+	}
+	live := rb.Get(id)
+	if live.Status != Disabled {
+		t.Fatalf("live rule status = %v, want Disabled", live.Status)
+	}
+}
+
+// TestApplyChangeValidation: gaps, unknown actions, missing payloads, and
+// duplicate adds are rejected without mutating state.
+func TestApplyChangeValidation(t *testing.T) {
+	rb := NewRulebase()
+	r := mustRule(NewWhitelist("x", "t"))
+	r.ID = "R000001"
+	r.CreatedAt, r.UpdatedAt = 1, 1
+
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 5, Action: "add", RuleID: "R000001"}, Rule: r}); err == nil {
+		t.Fatal("version gap accepted")
+	}
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 1, Action: "add", RuleID: "R000001"}}); err == nil {
+		t.Fatal("add without rule payload accepted")
+	}
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 1, Action: "frobnicate", RuleID: "R000001"}}); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 1, Action: "disable", RuleID: "nope"}}); err == nil {
+		t.Fatal("disable of unknown rule accepted")
+	}
+	if rb.Version() != 0 || len(rb.Audit()) != 0 {
+		t.Fatalf("failed replays mutated state: version=%d audit=%d", rb.Version(), len(rb.Audit()))
+	}
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 1, Action: "add", RuleID: "R000001"}, Rule: r, NextID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.ApplyChange(Change{Entry: AuditEntry{Version: 2, Action: "add", RuleID: "R000001"}, Rule: r, NextID: 1}); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+// TestApplyChangeDoesNotEcho: replay must not be re-delivered to change
+// subscribers (a durability layer would otherwise re-log its own replay),
+// but version subscribers do hear it (serving engines must rebuild).
+func TestApplyChangeDoesNotEcho(t *testing.T) {
+	src := NewRulebase()
+	stream, cancel, _ := collectChanges(src)
+	scriptedMutations(t, src)
+	cancel()
+
+	dst := NewRulebase()
+	echoes, cancelEcho, _ := collectChanges(dst)
+	defer cancelEcho()
+	var versions []uint64
+	cancelVer := dst.Subscribe(func(v uint64) { versions = append(versions, v) })
+	defer cancelVer()
+
+	for _, ch := range *stream {
+		if err := dst.ApplyChange(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*echoes) != 0 {
+		t.Fatalf("replay echoed %d changes to change subscribers", len(*echoes))
+	}
+	if len(versions) != len(*stream) {
+		t.Fatalf("version subscribers heard %d notifications, want %d", len(versions), len(*stream))
+	}
+}
+
+// TestApplyChangeNextID: a replayed rulebase assigns the same auto-IDs to
+// future adds as the live one would.
+func TestApplyChangeNextID(t *testing.T) {
+	src := NewRulebase()
+	stream, cancel, _ := collectChanges(src)
+	if _, err := src.Add(mustRule(NewWhitelist("a", "t")), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Add(mustRule(NewWhitelist("b", "t")), "x"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	dst := NewRulebase()
+	for _, ch := range *stream {
+		if err := dst.ApplyChange(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idLive, err := src.Add(mustRule(NewWhitelist("c", "t")), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idReplayed, err := dst.Add(mustRule(NewWhitelist("c", "t")), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idLive != idReplayed {
+		t.Fatalf("post-replay auto-ID %q != live auto-ID %q", idReplayed, idLive)
+	}
+}
+
+// TestAddAutoIDCollision: an auto-assigned ID colliding with an explicitly
+// chosen one errors instead of silently overwriting (the pre-fix code path
+// replaced the rule in the map while leaving a duplicate in the order list).
+func TestAddAutoIDCollision(t *testing.T) {
+	rb := NewRulebase()
+	explicit := mustRule(NewWhitelist("x", "t"))
+	explicit.ID = "R000001"
+	if _, err := rb.Add(explicit, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Add(mustRule(NewWhitelist("y", "t")), "a"); err == nil {
+		t.Fatal("auto-ID collision with explicit rule did not error")
+	}
+	// The burned draw leaves a hole; the next auto add succeeds with R000002.
+	id, err := rb.Add(mustRule(NewWhitelist("z", "t")), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "R000002" {
+		t.Fatalf("next auto ID = %q, want R000002", id)
+	}
+	if rb.Len() != 2 {
+		t.Fatalf("rulebase has %d rules, want 2", rb.Len())
+	}
+}
+
+// TestRuleClone: deep copy of slices, shared compiled pattern.
+func TestRuleClone(t *testing.T) {
+	r := mustRule(NewAttrValue("brand", "apple", []string{"phone"}))
+	r.Guards = []Guard{{Attr: "price", Op: "<", Value: "10"}}
+	c := r.Clone()
+	c.AllowedTypes[0] = "mutated"
+	c.Guards[0].Attr = "mutated"
+	if r.AllowedTypes[0] != "phone" || r.Guards[0].Attr != "price" {
+		t.Fatal("Clone shares slice storage with the original")
+	}
+	p := mustRule(NewWhitelist("phones?", "phone"))
+	pc := p.Clone()
+	if pc.Pattern() != p.Pattern() {
+		t.Fatal("Clone should share the immutable compiled pattern")
+	}
+	if (*Rule)(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}
+
+// TestDataIndexItemsCopy: the accessor must not leak the internal slice the
+// posting lists index into.
+func TestDataIndexItemsCopy(t *testing.T) {
+	first := item("alpha phone", nil)
+	second := item("beta jeans", nil)
+	first.ID, second.ID = "1", "2"
+	di := NewDataIndex([]*catalog.Item{first, second})
+	got := di.Items()
+	got[0], got[1] = got[1], got[0] // caller reorders its copy
+	again := di.Items()
+	if again[0].ID != "1" || again[1].ID != "2" {
+		t.Fatal("DataIndex.Items leaked its internal slice: caller reorder visible")
+	}
+	if di.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", di.Size())
+	}
+}
+
+// TestVerdictEvidenceCopy: appending to the returned evidence must not
+// clobber the verdict's internal slice (verdicts are shared via the cache).
+func TestVerdictEvidenceCopy(t *testing.T) {
+	ex := NewSequentialExecutor([]*Rule{mustRule(NewWhitelist("phones?", "phone"))})
+	v := ex.Apply(item("shiny phone", nil))
+	ev := v.Evidence("phone")
+	if len(ev) != 1 {
+		t.Fatalf("evidence = %d rules, want 1", len(ev))
+	}
+	ev[0] = nil
+	if v.Evidence("phone")[0] == nil {
+		t.Fatal("Verdict.Evidence leaked its internal slice")
+	}
+}
+
+// BenchmarkRulebaseUpdateConfidence guards the mutation critical section:
+// the audit-note formatting must stay outside the lock.
+func BenchmarkRulebaseUpdateConfidence(b *testing.B) {
+	rb := NewRulebase()
+	id, err := rb.Add(mustRule(NewWhitelist("phones?", "phone")), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rb.UpdateConfidence(id, float64(i%1000)/1000, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRulebaseMutateContended measures the mutation path with serving
+// readers hammering ActiveView — the scenario the lock-scope fix targets:
+// work moved outside rb.mu shortens every reader's wait.
+func BenchmarkRulebaseMutateContended(b *testing.B) {
+	rb := NewRulebase()
+	ids := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		id, err := rb.Add(mustRule(NewWhitelist(fmt.Sprintf("tok%d", i), "t")), "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rb.ActiveView()
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rb.UpdateConfidence(ids[i%len(ids)], 0.5, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

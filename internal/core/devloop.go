@@ -32,7 +32,7 @@ func NewDevSession(items []*catalog.Item) *DevSession {
 }
 
 // Size returns the development-corpus size.
-func (s *DevSession) Size() int { return len(s.di.Items()) }
+func (s *DevSession) Size() int { return s.di.Size() }
 
 // DevReport is the feedback for one rule attempt.
 type DevReport struct {
@@ -69,7 +69,7 @@ func (s *DevSession) Try(src, target string) (*DevReport, error) {
 	matches := s.di.Matches(r)
 	rep := &DevReport{Rule: r, Coverage: len(matches)}
 
-	items := s.di.Items()
+	items := s.di.items // same package: skip the defensive copy Items() makes
 	confusions := map[string]int{}
 	correct := 0
 	for i, m := range matches {
@@ -133,7 +133,7 @@ func ProposeRetarget(rules []*Rule, relabeled *DataIndex, deadTypes map[string]b
 		minShare = 0.2
 	}
 	var out []RetargetProposal
-	items := relabeled.Items()
+	items := relabeled.items // same package: skip the defensive copy Items() makes
 	for _, r := range rules {
 		if r.Status != Active || !deadTypes[r.TargetType] || !r.IsPatternKind() || r.Kind == TypeRestrict {
 			continue

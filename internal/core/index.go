@@ -169,8 +169,15 @@ func NewDataIndex(items []*catalog.Item) *DataIndex {
 	return di
 }
 
-// Items exposes the indexed corpus.
-func (di *DataIndex) Items() []*catalog.Item { return di.items }
+// Items returns a copy of the indexed corpus slice. The index's own ordering
+// is load-bearing (posting lists are positions into it), so callers must not
+// be able to reorder or truncate the internal slice through the accessor.
+func (di *DataIndex) Items() []*catalog.Item {
+	return append([]*catalog.Item(nil), di.items...)
+}
+
+// Size returns the number of indexed items without copying.
+func (di *DataIndex) Size() int { return len(di.items) }
 
 // CandidateItems returns indices of items that could match the rule (a
 // superset of actual matches). Pattern rules with no witness and unknown

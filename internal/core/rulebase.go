@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -29,15 +30,21 @@ type Rulebase struct {
 	rules   map[string]*Rule
 	order   []string // insertion order for deterministic iteration
 	version uint64
-	nextID  int
 	audit   []AuditEntry
 	obs     *obs.Registry // nil = uninstrumented
 
-	// Mutation subscribers (see Subscribe). Guarded separately from mu so
-	// notifications run outside the rulebase lock and subscribers may call
-	// back into the rulebase (e.g. to take an ActiveView).
+	// nextID is the auto-ID counter. Atomic (not guarded by mu) so Add can
+	// assign the ID — and render the allocating audit note from it — before
+	// entering the critical section.
+	nextID atomic.Int64
+
+	// Mutation subscribers (see Subscribe and SubscribeChanges). Guarded
+	// separately from mu so notifications run outside the rulebase lock and
+	// subscribers may call back into the rulebase (e.g. to take an
+	// ActiveView). Lock order: mu before subMu, never the reverse.
 	subMu   sync.RWMutex
 	subs    map[int]func(version uint64)
+	chSubs  map[int]func(Change)
 	nextSub int
 }
 
@@ -139,27 +146,32 @@ func (rb *Rulebase) Len() int {
 // Add inserts a rule, assigning its ID and clock stamps. The actor is
 // recorded in the audit log and as the rule author when the rule has none.
 func (rb *Rulebase) Add(r *Rule, actor string) (string, error) {
-	id, ver, err := rb.addLocked(r, actor)
+	id, ch, err := rb.addLocked(r, actor)
 	if err != nil {
 		return "", err
 	}
-	rb.notify(ver)
+	rb.notify(ch.Entry.Version)
+	rb.notifyChange(ch)
 	return id, nil
 }
 
-func (rb *Rulebase) addLocked(r *Rule, actor string) (string, uint64, error) {
+func (rb *Rulebase) addLocked(r *Rule, actor string) (string, Change, error) {
 	if r == nil {
-		return "", 0, fmt.Errorf("core: nil rule")
+		return "", Change{}, fmt.Errorf("core: nil rule")
 	}
+	// Assign the auto-ID and render the audit note before taking rb.mu: both
+	// allocate (fmt formatting over the whole rule), and the serving path
+	// contends on this lock for every ActiveView. Auto-IDs are drawn from an
+	// atomic counter, so a draw burned on a later validation error simply
+	// leaves a hole in the sequence.
+	if r.ID == "" {
+		r.ID = fmt.Sprintf("R%06d", rb.nextID.Add(1))
+	}
+	note := r.String()
 	rb.mu.Lock()
-	defer rb.mu.Unlock()
-	if r.ID != "" {
-		if _, exists := rb.rules[r.ID]; exists {
-			return "", 0, fmt.Errorf("core: rule id %q already present", r.ID)
-		}
-	} else {
-		rb.nextID++
-		r.ID = fmt.Sprintf("R%06d", rb.nextID)
+	if _, exists := rb.rules[r.ID]; exists {
+		rb.mu.Unlock()
+		return "", Change{}, fmt.Errorf("core: rule id %q already present", r.ID)
 	}
 	rb.version++
 	r.CreatedAt = rb.version
@@ -169,9 +181,19 @@ func (rb *Rulebase) addLocked(r *Rule, actor string) (string, uint64, error) {
 	}
 	rb.rules[r.ID] = r
 	rb.order = append(rb.order, r.ID)
-	rb.audit = append(rb.audit, AuditEntry{rb.version, "add", r.ID, actor, r.String()})
+	entry := AuditEntry{rb.version, "add", r.ID, actor, note}
+	rb.audit = append(rb.audit, entry)
 	rb.countMutation("add")
-	return r.ID, rb.version, nil
+	ch := Change{Entry: entry}
+	if rb.hasChangeSubs() {
+		// Freeze the rule content at mutation time: once rb.mu is released
+		// the inserted rule is shared and may be mutated again before the
+		// change record is consumed.
+		ch.Rule = r.Clone()
+		ch.NextID = int(rb.nextID.Load())
+	}
+	rb.mu.Unlock()
+	return r.ID, ch, nil
 }
 
 // AddAll inserts a batch of rules, stopping at the first error.
@@ -193,35 +215,37 @@ func (rb *Rulebase) Get(id string) *Rule {
 
 // setStatus transitions a rule's lifecycle state.
 func (rb *Rulebase) setStatus(id string, st Status, action, actor, note string) error {
-	changed, ver, err := rb.setStatusLocked(id, st, action, actor, note)
+	changed, ch, err := rb.setStatusLocked(id, st, action, actor, note)
 	if err != nil {
 		return err
 	}
 	if changed {
-		rb.notify(ver)
+		rb.notify(ch.Entry.Version)
+		rb.notifyChange(ch)
 	}
 	return nil
 }
 
-func (rb *Rulebase) setStatusLocked(id string, st Status, action, actor, note string) (bool, uint64, error) {
+func (rb *Rulebase) setStatusLocked(id string, st Status, action, actor, note string) (bool, Change, error) {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	r, ok := rb.rules[id]
 	if !ok {
-		return false, 0, fmt.Errorf("core: no rule %q", id)
+		return false, Change{}, fmt.Errorf("core: no rule %q", id)
 	}
 	if r.Status == Retired && st != Retired {
-		return false, 0, fmt.Errorf("core: rule %q is retired and cannot be %s", id, action)
+		return false, Change{}, fmt.Errorf("core: rule %q is retired and cannot be %s", id, action)
 	}
 	if r.Status == st {
-		return false, 0, nil
+		return false, Change{}, nil
 	}
 	rb.version++
 	r.Status = st
 	r.UpdatedAt = rb.version
-	rb.audit = append(rb.audit, AuditEntry{rb.version, action, id, actor, note})
+	entry := AuditEntry{rb.version, action, id, actor, note}
+	rb.audit = append(rb.audit, entry)
 	rb.countMutation(action)
-	return true, rb.version, nil
+	return true, Change{Entry: entry, Status: st}, nil
 }
 
 // Disable turns a rule off — the per-rule "scale down" of §3.2 ("if that
@@ -271,27 +295,32 @@ func (rb *Rulebase) EnableAll(ids []string, actor, note string) {
 
 // UpdateConfidence records a fresh precision estimate for a rule.
 func (rb *Rulebase) UpdateConfidence(id string, conf float64, actor string) error {
-	ver, err := rb.updateConfidenceLocked(id, conf, actor)
+	ch, err := rb.updateConfidenceLocked(id, conf, actor)
 	if err != nil {
 		return err
 	}
-	rb.notify(ver)
+	rb.notify(ch.Entry.Version)
+	rb.notifyChange(ch)
 	return nil
 }
 
-func (rb *Rulebase) updateConfidenceLocked(id string, conf float64, actor string) (uint64, error) {
+func (rb *Rulebase) updateConfidenceLocked(id string, conf float64, actor string) (Change, error) {
+	// The audit note allocates; render it before entering the critical
+	// section (this is the hottest mutation — every precision re-estimate).
+	note := fmt.Sprintf("confidence=%.3f", conf)
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	r, ok := rb.rules[id]
 	if !ok {
-		return 0, fmt.Errorf("core: no rule %q", id)
+		return Change{}, fmt.Errorf("core: no rule %q", id)
 	}
 	rb.version++
 	r.Confidence = conf
 	r.UpdatedAt = rb.version
-	rb.audit = append(rb.audit, AuditEntry{rb.version, "update", id, actor, fmt.Sprintf("confidence=%.3f", conf)})
+	entry := AuditEntry{rb.version, "update", id, actor, note}
+	rb.audit = append(rb.audit, entry)
 	rb.countMutation("update")
-	return rb.version, nil
+	return Change{Entry: entry, Confidence: conf}, nil
 }
 
 // Active returns active rules, optionally filtered by kinds (empty = all
@@ -401,12 +430,15 @@ func (rb *Rulebase) MarshalJSON() ([]byte, error) {
 		rules = append(rules, rb.rules[id])
 	}
 	return json.Marshal(rulebaseJSON{
-		Version: rb.version, NextID: rb.nextID, Rules: rules, Audit: rb.audit,
+		Version: rb.version, NextID: int(rb.nextID.Load()), Rules: rules, Audit: rb.audit,
 	})
 }
 
 // UnmarshalJSON implements json.Unmarshaler. A successful load counts as one
-// mutation for subscribers: they are notified with the loaded version.
+// mutation for subscribers: they are notified with the loaded version, and
+// change subscribers receive an ActionLoad pseudo-change (a wholesale
+// replacement is not an incremental mutation — a durability layer responds by
+// re-snapshotting, not appending).
 func (rb *Rulebase) UnmarshalJSON(data []byte) error {
 	var j rulebaseJSON
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -416,6 +448,7 @@ func (rb *Rulebase) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	rb.notify(j.Version)
+	rb.notifyChange(Change{Entry: AuditEntry{Version: j.Version, Action: ActionLoad}})
 	return nil
 }
 
@@ -432,7 +465,7 @@ func (rb *Rulebase) loadLocked(j *rulebaseJSON) error {
 		rb.order = append(rb.order, r.ID)
 	}
 	rb.version = j.Version
-	rb.nextID = j.NextID
+	rb.nextID.Store(int64(j.NextID))
 	rb.audit = j.Audit
 	return nil
 }

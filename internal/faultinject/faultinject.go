@@ -64,6 +64,15 @@ type Config struct {
 	// and no charge.
 	CrowdTimeoutP float64
 	CrowdNoShowP  float64
+
+	// WALTornWriteP is the probability that one write-ahead-log append is
+	// torn: only a uniformly-drawn prefix of the frame reaches the disk, as
+	// if the process died mid-write. WALShortReadP is the probability that
+	// one replay read is cut short to a uniformly-drawn prefix of the file —
+	// the read-side analogue (partial page, truncated copy). Both model the
+	// crash-consistency surface internal/persist must recover from.
+	WALTornWriteP float64
+	WALShortReadP float64
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +166,37 @@ func (j *Injector) ShardDelay(shard int) time.Duration {
 	return 0
 }
 
+// WALTornWrite decides whether a WAL append of n bytes is torn, returning
+// how many bytes actually reach the disk: n means the write is intact, any
+// smaller value is the surviving prefix (possibly 0). Counted as
+// "wal_torn_write".
+func (j *Injector) WALTornWrite(n int) int {
+	return j.prefix(n, j.cfgOf().WALTornWriteP, "wal_torn_write")
+}
+
+// WALShortRead decides whether a replay read of n bytes is cut short,
+// returning how many bytes the reader sees (n = intact). Counted as
+// "wal_short_read".
+func (j *Injector) WALShortRead(n int) int {
+	return j.prefix(n, j.cfgOf().WALShortReadP, "wal_short_read")
+}
+
+// prefix draws one Bernoulli decision and, on a hit, a uniform prefix length
+// in [0, n); both draws come from the same seeded stream under one lock
+// acquisition so runs replay deterministically.
+func (j *Injector) prefix(n int, p float64, name string) int {
+	if j == nil || p <= 0 || n <= 0 {
+		return n
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.rng.Bool(p) {
+		return n
+	}
+	j.counts[name]++
+	return j.rng.Intn(n)
+}
+
 // CrowdTimeout reports whether one crowd assignment times out (charged, no
 // answer recorded).
 func (j *Injector) CrowdTimeout() bool { return j.roll(j.cfgOf().CrowdTimeoutP, "crowd_timeout") }
@@ -175,7 +215,7 @@ func (j *Injector) cfgOf() Config {
 
 // Counts returns a copy of the per-fault injection tallies ("handler_latency",
 // "rebuild_stall", "rebuild_error", "shard_stall", "crowd_timeout",
-// "crowd_noshow").
+// "crowd_noshow", "wal_torn_write", "wal_short_read").
 func (j *Injector) Counts() map[string]int {
 	if j == nil {
 		return map[string]int{}

@@ -1,0 +1,65 @@
+package faultinject
+
+import "testing"
+
+// TestWALTornWriteBounds: results stay in [0, n], firing is counted, and the
+// same seed replays the same decisions.
+func TestWALTornWriteBounds(t *testing.T) {
+	run := func() ([]int, int) {
+		j := New(Config{Seed: 7, WALTornWriteP: 0.5})
+		out := make([]int, 0, 200)
+		for i := 0; i < 200; i++ {
+			n := 1 + i%64
+			kept := j.WALTornWrite(n)
+			if kept < 0 || kept > n {
+				t.Fatalf("WALTornWrite(%d) = %d, out of [0,%d]", n, kept, n)
+			}
+			out = append(out, kept)
+		}
+		return out, j.Counts()["wal_torn_write"]
+	}
+	a, ca := run()
+	b, cb := run()
+	if ca == 0 {
+		t.Fatal("p=0.5 over 200 draws never tore a write")
+	}
+	if ca != cb {
+		t.Fatalf("counts not deterministic: %d vs %d", ca, cb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d not deterministic: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWALShortReadDisabledAndNil: zero probability and nil injectors are
+// pass-through.
+func TestWALShortReadDisabledAndNil(t *testing.T) {
+	j := New(Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		if got := j.WALShortRead(123); got != 123 {
+			t.Fatalf("disabled injector cut a read to %d", got)
+		}
+	}
+	var nilJ *Injector
+	if got := nilJ.WALTornWrite(99); got != 99 {
+		t.Fatalf("nil injector tore a write to %d", got)
+	}
+	if got := nilJ.WALShortRead(99); got != 99 {
+		t.Fatalf("nil injector cut a read to %d", got)
+	}
+}
+
+// TestWALShortReadFires: with p=1 every read is cut to a strict prefix.
+func TestWALShortReadFires(t *testing.T) {
+	j := New(Config{Seed: 3, WALShortReadP: 1})
+	for i := 0; i < 50; i++ {
+		if got := j.WALShortRead(64); got >= 64 || got < 0 {
+			t.Fatalf("p=1 short read returned %d, want strict prefix of 64", got)
+		}
+	}
+	if j.Counts()["wal_short_read"] != 50 {
+		t.Fatalf("wal_short_read count = %d, want 50", j.Counts()["wal_short_read"])
+	}
+}

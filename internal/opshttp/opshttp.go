@@ -8,6 +8,10 @@
 //	               load watermark
 //	/decisions     NDJSON tail of the decision-provenance ring, filterable
 //	               by rule ID, path, and outcome
+//	/decisions/export
+//	               same records as a downloadable NDJSON attachment,
+//	               defaulting to the FULL retained ring (incident evidence
+//	               capture, not a live tail)
 //	/snapshot      active rule-set version + rule health summary
 //	/debug/pprof/  the standard Go profiling endpoints
 //
@@ -129,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/decisions", s.handleDecisions)
+	mux.HandleFunc("/decisions/export", s.handleDecisionsExport)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -254,6 +259,37 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if !s.opts.Audit.Enabled() {
+		return
+	}
+	recs := s.opts.Audit.TailFiltered(n, q.Get("rule"), q.Get("path"), q.Get("outcome"))
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		_ = enc.Encode(rec)
+	}
+}
+
+// handleDecisionsExport is the incident-evidence capture endpoint: the same
+// NDJSON records as /decisions but served as a downloadable attachment and
+// defaulting to the FULL retained ring rather than the tail limit — an
+// operator pulling evidence after an incident wants everything the ring
+// still holds, not the last few lines. ?n= narrows to the newest n; the
+// rule/path/outcome filters compose the same way as /decisions.
+func (s *Server) handleDecisionsExport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := s.opts.Audit.Capacity()
+	if v := q.Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if p < n {
+			n = p
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Disposition", `attachment; filename="decisions.ndjson"`)
 	if !s.opts.Audit.Enabled() {
 		return
 	}

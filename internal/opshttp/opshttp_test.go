@@ -221,6 +221,68 @@ func TestDecisionsTailAndFilters(t *testing.T) {
 	}
 }
 
+// TestDecisionsExport: /decisions/export serves the full retained ring as a
+// downloadable NDJSON attachment (not capped by DecisionsLimit), with ?n=
+// and the conjunctive filters behaving like /decisions.
+func TestDecisionsExport(t *testing.T) {
+	_, _, audit, _, base := testStack(t)
+	// More records than the default /decisions cap would matter for, fewer
+	// than the 128-slot ring so nothing is evicted.
+	for i := 0; i < 100; i++ {
+		audit.Observe(&obs.DecisionRecord{
+			ItemID: fmt.Sprintf("it-%d", i), Path: obs.PathBatchGate,
+			Outcome: obs.OutcomeClassified, Fired: []string{"r1"},
+		})
+	}
+	audit.Observe(&obs.DecisionRecord{
+		ItemID: "bad", Path: obs.PathClassifier,
+		Outcome: obs.OutcomeDeclined, Vetoed: []string{"r9"},
+	})
+
+	resp, err := http.Get(base + "/decisions/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/decisions/export = %d", resp.StatusCode)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "attachment") {
+		t.Fatalf("Content-Disposition = %q, want an attachment", cd)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("export returned %d lines, want the full ring (101)", len(lines))
+	}
+	var first, last obs.DecisionRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first.ItemID != "it-0" || last.ItemID != "bad" {
+		t.Fatalf("export order: first=%q last=%q, want oldest-first", first.ItemID, last.ItemID)
+	}
+
+	if _, body := get(t, base+"/decisions/export?n=7"); strings.Count(strings.TrimSpace(body), "\n") != 6 {
+		t.Errorf("n=7 export:\n%s", body)
+	}
+	if _, body := get(t, base+"/decisions/export?rule=r9"); strings.Count(body, "\n") != 1 {
+		t.Errorf("rule=r9 export filter:\n%s", body)
+	}
+	if code, _ := get(t, base+"/decisions/export?n=-1"); code != http.StatusBadRequest {
+		t.Errorf("bad n accepted: %d", code)
+	}
+}
+
 func TestSnapshotEndpoint(t *testing.T) {
 	rb, eng, _, _, base := testStack(t)
 	mutate(t, rb, "jeans?", "jeans")

@@ -1,0 +1,57 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// WriteDecisionsNDJSON writes decision records to w as NDJSON (one JSON
+// object per line, oldest first — the same wire shape the ops /decisions
+// endpoints speak) and returns the number of records written.
+func WriteDecisionsNDJSON(w io.Writer, recs []*obs.DecisionRecord) (int, error) {
+	enc := json.NewEncoder(w)
+	for i, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return i, fmt.Errorf("persist: encoding decision record: %w", err)
+		}
+	}
+	return len(recs), nil
+}
+
+// ExportDecisions writes the newest n retained decision records (n <= 0 =
+// the full ring) to path atomically (temp file + rename), so an export
+// interrupted mid-write never leaves a half-file where an incident
+// responder expects evidence. Returns the number of records exported.
+func ExportDecisions(path string, log *obs.AuditLog, n int) (int, error) {
+	if !log.Enabled() {
+		return 0, fmt.Errorf("persist: decision audit log is not enabled")
+	}
+	if n <= 0 || n > log.Capacity() {
+		n = log.Capacity()
+	}
+	recs := log.Tail(n)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating export temp: %w", err)
+	}
+	wrote, err := WriteDecisionsNDJSON(f, recs)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return wrote, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return wrote, fmt.Errorf("persist: closing export temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return wrote, fmt.Errorf("persist: publishing export: %w", err)
+	}
+	return wrote, nil
+}

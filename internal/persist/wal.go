@@ -1,0 +1,123 @@
+// Package persist is the durability layer for the rulebase: a write-ahead
+// log of mutations (fed by core.Rulebase.SubscribeChanges — the same
+// mutation feed the serving engine rebuilds from), periodic compacted
+// snapshots of the full rule state, and crash-safe restore. The §4
+// maintenance agenda — rule provenance, analyst actions, long-lived rule
+// lifecycles — assumes the rulebase and its audit history survive restarts;
+// this package is what makes that true.
+//
+// Recovery semantics are strict valid-prefix: a restore replays the snapshot
+// plus every fully-durable WAL record and stops at the first torn, short, or
+// corrupt frame. The restored rulebase is therefore always a state the live
+// rulebase actually passed through — never torn, never beyond the last
+// durable record (property-tested at every byte boundary in crash_test.go).
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+)
+
+// Record is one durable rulebase mutation: the audit entry fields plus the
+// payload core.Rulebase.ApplyChange needs to reproduce the state transition.
+// The lifecycle status after disable/enable/retire is derived from Action on
+// replay, so it is deliberately not stored.
+type Record struct {
+	Version uint64 `json:"v"`
+	Action  string `json:"action"`
+	RuleID  string `json:"rule_id,omitempty"`
+	Actor   string `json:"actor,omitempty"`
+	Note    string `json:"note,omitempty"`
+	// Rule is the added rule's content frozen at mutation time ("add" only).
+	Rule *core.Rule `json:"rule,omitempty"`
+	// Confidence is the new precision estimate ("update" only).
+	Confidence float64 `json:"confidence,omitempty"`
+	// NextID is the auto-ID counter after the mutation ("add" only).
+	NextID int `json:"next_id,omitempty"`
+}
+
+// recordOf converts a live mutation into its durable form.
+func recordOf(ch core.Change) Record {
+	return Record{
+		Version:    ch.Entry.Version,
+		Action:     ch.Entry.Action,
+		RuleID:     ch.Entry.RuleID,
+		Actor:      ch.Entry.Actor,
+		Note:       ch.Entry.Note,
+		Rule:       ch.Rule,
+		Confidence: ch.Confidence,
+		NextID:     ch.NextID,
+	}
+}
+
+// change converts a replayed record back into an applyable mutation.
+func (rec Record) change() core.Change {
+	return core.Change{
+		Entry: core.AuditEntry{
+			Version: rec.Version,
+			Action:  rec.Action,
+			RuleID:  rec.RuleID,
+			Actor:   rec.Actor,
+			Note:    rec.Note,
+		},
+		Rule:       rec.Rule,
+		Confidence: rec.Confidence,
+		NextID:     rec.NextID,
+	}
+}
+
+// Frame layout: [4-byte little-endian payload length][4-byte IEEE CRC32 of
+// the payload][JSON payload]. The length bound rejects implausible frames
+// early so a corrupt length byte cannot make the decoder swallow the rest of
+// the file as one giant record.
+const (
+	frameHeaderSize = 8
+	maxRecordSize   = 1 << 24
+)
+
+// EncodeRecord renders one framed WAL entry.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding WAL record %d: %w", rec.Version, err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("persist: WAL record %d is %d bytes, over the %d limit", rec.Version, len(payload), maxRecordSize)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// DecodeRecords parses data as a sequence of framed records and returns the
+// records of the longest valid prefix, the byte length of that prefix
+// (`durable`), and whether trailing bytes were discarded as torn. It never
+// fails: a short header, an implausible length, a frame extending past the
+// end of data, a CRC mismatch, or an undecodable payload all simply end the
+// valid prefix — exactly the state a crash mid-append leaves behind.
+func DecodeRecords(data []byte) (recs []Record, durable int, torn bool) {
+	off := 0
+	for len(data)-off >= frameHeaderSize {
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if length == 0 || length > maxRecordSize || off+frameHeaderSize+length > len(data) {
+			break
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + length
+	}
+	return recs, off, off < len(data)
+}

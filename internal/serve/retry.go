@@ -177,6 +177,10 @@ func (r *Retrier[R]) Submit(ctx context.Context, items []*catalog.Item) (*Ticket
 			return ticket, nil
 		}
 		if !errors.Is(err, ErrQueueFull) {
+			// The shed request is being abandoned for a different terminal
+			// reason (ctx expired between backoff and re-submit, or shutdown):
+			// still a give-up, or the counter undercounts abandoned sheds.
+			r.giveUp.Inc()
 			return nil, err
 		}
 	}

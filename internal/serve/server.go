@@ -159,7 +159,7 @@ func NewServer[R any](eng *Engine, h Handler[R], opts ServerOptions) *Server[R] 
 	reg.Help(MetricQueueDepth, "requests queued, not yet picked up by a worker")
 	reg.Help(MetricShed, "requests shed at Submit (queue full)")
 	reg.Help(MetricDeclined, "items explicitly declined during shutdown drain")
-	reg.Help(MetricDeadlineExpired, "requests whose caller deadline expired while queued")
+	reg.Help(MetricDeadlineExpired, "requests whose caller deadline expired at submit or while queued")
 	eng.Start()
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -183,12 +183,18 @@ func (s *Server[R]) Submit(items []*catalog.Item) (*Ticket[R], error) {
 // context error instead of doing dead work. Cancellation does not recall a
 // request that a worker already started.
 func (s *Server[R]) SubmitCtx(ctx context.Context, items []*catalog.Item) (*Ticket[R], error) {
+	// Every request carries an ID end-to-end: the handler reads it back with
+	// obs.RequestID and stamps it on each item's decision record. Assigned
+	// before the expiry check so even submit-time rejections are auditable.
+	ctx, _ = obs.EnsureRequestID(ctx, "req")
 	if err := ctx.Err(); err != nil {
+		// Same taxonomy bucket as expiring while queued: the caller's deadline
+		// ran out, no snapshot was consulted. Counting it here keeps the
+		// shed/expired split honest — an expired submit is not a shed.
+		s.expired.Inc()
+		s.auditFailure(ctx, items, obs.OutcomeExpired, err.Error())
 		return nil, err
 	}
-	// Every request carries an ID end-to-end: the handler reads it back with
-	// obs.RequestID and stamps it on each item's decision record.
-	ctx, _ = obs.EnsureRequestID(ctx, "req")
 	req := &request[R]{items: items, ctx: ctx, done: make(chan struct{})}
 	s.mu.RLock()
 	defer s.mu.RUnlock()

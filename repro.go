@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opshttp"
 	"repro/internal/pattern"
+	"repro/internal/persist"
 	"repro/internal/randx"
 	"repro/internal/serve"
 	"repro/internal/social"
@@ -476,6 +477,10 @@ var (
 	NewServeEngine = serve.NewEngine
 	// NewServeRetrier wraps a pipeline Server in retry/backoff.
 	NewServeRetrier = serve.NewRetrier[chimera.Decision]
+	// BuildServeSnapshot builds an immutable serving snapshot of a rulebase's
+	// active rules directly (engines do this internally; exposed for restart
+	// drills and tests that compare verdicts byte for byte).
+	BuildServeSnapshot = serve.BuildSnapshot
 	// NewVerdictCache builds a standalone verdict cache (engines build their
 	// own from EngineOptions.Cache; this is for tests and tooling).
 	NewVerdictCache = serve.NewVerdictCache
@@ -551,6 +556,56 @@ const (
 	MetricServeScatterItems    = serve.MetricScatterItems
 	MetricServeScatterPartial  = serve.MetricScatterPartial
 	MetricServeScatterFanout   = serve.MetricScatterFanout
+)
+
+// --- Durable rulebase (internal/persist) -------------------------------------
+
+type (
+	// PersistStore is the durable rulebase store: a CRC-framed write-ahead
+	// log of rule mutations plus periodic compacted snapshots, with
+	// crash-safe valid-prefix recovery (OpenPersist → Restore → Attach).
+	PersistStore = persist.Store
+	// PersistOptions parameterizes OpenPersist (directory, fsync policy,
+	// snapshot cadence, metrics registry, fault injector).
+	PersistOptions = persist.Options
+	// PersistRestoreStats summarizes one Restore (snapshot version, WAL
+	// records replayed, final version).
+	PersistRestoreStats = persist.RestoreStats
+	// WALRecord is one decoded write-ahead-log entry.
+	WALRecord = persist.Record
+	// RulebaseChange is one applyable rulebase mutation — the change-feed
+	// payload (Rulebase.SubscribeChanges) the WAL persists and
+	// Rulebase.ApplyChange replays.
+	RulebaseChange = core.Change
+)
+
+var (
+	// OpenPersist opens (or creates) a durable store directory.
+	OpenPersist = persist.Open
+	// ExportDecisions writes the audit ring's newest n decision records to a
+	// file as NDJSON, atomically (temp + rename).
+	ExportDecisions = persist.ExportDecisions
+	// WriteDecisionsNDJSON streams decision records to a writer as NDJSON.
+	WriteDecisionsNDJSON = persist.WriteDecisionsNDJSON
+	// ErrPersistTornWrite marks a store killed by a torn WAL append; reopen
+	// to recover the valid prefix.
+	ErrPersistTornWrite = persist.ErrTornWrite
+	// ErrPersistShortRead marks a store that saw a truncated WAL read at
+	// open: restores serve the valid prefix, writes are refused.
+	ErrPersistShortRead = persist.ErrShortRead
+)
+
+// Persistence metric names (persist_*, in the store's Obs registry).
+const (
+	MetricPersistWALAppends      = persist.MetricWALAppends
+	MetricPersistWALBytes        = persist.MetricWALBytes
+	MetricPersistFsyncSeconds    = persist.MetricFsyncSeconds
+	MetricPersistSnapshots       = persist.MetricSnapshots
+	MetricPersistSnapshotBytes   = persist.MetricSnapshotBytes
+	MetricPersistSnapshotSeconds = persist.MetricSnapshotSeconds
+	MetricPersistReplayed        = persist.MetricReplayed
+	MetricPersistRestores        = persist.MetricRestores
+	MetricPersistTornTails       = persist.MetricTornTails
 )
 
 var (

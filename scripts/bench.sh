@@ -2,20 +2,31 @@
 # Classification-serving benchmark runner: the locked vs snapshot serving
 # pair, the per-item vs batch-inverted matching pair, the decision-
 # provenance (audit) overhead trio, the sharded-vs-single scatter-gather
-# throughput ladder (1/2/4/8 shards), and the verdict-cache hit-rate ladder
-# (0%/50%/90% Zipf repeat traffic vs uncached), emitted as a
-# machine-readable summary in BENCH_PR8.json (the bench trajectory
+# throughput ladder (1/2/4/8 shards), the verdict-cache hit-rate ladder
+# (0%/50%/90% Zipf repeat traffic vs uncached), and the persistence overhead
+# ladder (no store / WAL / WAL+fsync per rulebase mutation), emitted as a
+# machine-readable summary in BENCH_PR9.json (the bench trajectory
 # artifact). The emitted JSON is validated with scripts/jsoncheck before the
 # script reports success.
 #
 # Usage: scripts/bench.sh [benchtime]     (default 2s, e.g. "5x" or "3s")
 #        scripts/bench.sh --emitter-selftest
+#        scripts/bench.sh --exitcode-selftest
 #
 # --emitter-selftest runs a canned go-bench fixture (including rows without
 # custom metrics, malformed rows, and metric units that need sanitizing)
 # through the JSON emitter and validates the result — the CI guard for the
 # emitter itself, independent of how long the real benchmarks take.
+#
+# --exitcode-selftest re-invokes the script with an injected bench failure
+# (BENCH_INJECT_FAIL=1) and requires a nonzero exit — the CI guard that a
+# failing `go test -bench` can never again be masked by output plumbing.
 set -eu
+# POSIX sh has no pipefail; enable it where the shell offers it so any
+# remaining pipeline still propagates the left side's failure. The
+# load-bearing guard, though, is run_bench below, which avoids pipelines
+# entirely.
+if (set -o pipefail) 2>/dev/null; then set -o pipefail; fi
 
 cd "$(dirname "$0")/.."
 
@@ -81,6 +92,11 @@ END {
     c0 = 0; if (ns["BenchmarkVerdictCacheHit0"] > 0)  c0 = off / ns["BenchmarkVerdictCacheHit0"]
     c50 = 0; if (ns["BenchmarkVerdictCacheHit50"] > 0) c50 = off / ns["BenchmarkVerdictCacheHit50"]
     c90 = 0; if (ns["BenchmarkVerdictCacheHit90"] > 0) c90 = off / ns["BenchmarkVerdictCacheHit90"]
+    # Persistence ladder: how much a mutation costs with the WAL attached
+    # (and with the fsync barrier) relative to no store at all.
+    poff = ns["BenchmarkPersistOff"]
+    pw = 0; if (poff > 0 && ns["BenchmarkPersistWAL"] > 0) pw = ns["BenchmarkPersistWAL"] / poff
+    pf = 0; if (poff > 0 && ns["BenchmarkPersistWALFsync"] > 0) pf = ns["BenchmarkPersistWALFsync"] / poff
     printf "  \"batch_inverted_speedup_vs_per_item\": %.2f,\n", batch
     printf "  \"snapshot_speedup_vs_locked\": %.2f,\n", snap
     printf "  \"audit_overhead_ratio_default_sampling\": %.4f,\n", audit
@@ -91,7 +107,9 @@ END {
     printf "  \"sharded_speedup_8x_vs_single\": %.2f,\n", sh8
     printf "  \"cache_speedup_hit0_vs_off\": %.2f,\n", c0
     printf "  \"cache_speedup_hit50_vs_off\": %.2f,\n", c50
-    printf "  \"cache_speedup_hit90_vs_off\": %.2f\n", c90
+    printf "  \"cache_speedup_hit90_vs_off\": %.2f,\n", c90
+    printf "  \"persist_wal_overhead_ratio\": %.2f,\n", pw
+    printf "  \"persist_wal_fsync_overhead_ratio\": %.2f\n", pf
     print "}"
 }
 '
@@ -129,6 +147,19 @@ FIX
     exit 0
 fi
 
+if [ "${1:-}" = "--exitcode-selftest" ]; then
+    # Re-invoke the script with an injected bench failure and require the
+    # failure to surface as a nonzero exit. This is the regression guard for
+    # the old `go test -bench | tee` pipelines, whose exit status was tee's:
+    # a failing benchmark run reported success.
+    if BENCH_INJECT_FAIL=1 sh "$0" 1x >/dev/null 2>&1; then
+        echo "exitcode selftest: injected bench failure exited 0" >&2
+        exit 1
+    fi
+    echo "exitcode selftest ok"
+    exit 0
+fi
+
 BENCHTIME="${1:-2s}"
 # The audit trio runs a full pipeline pass per op (seconds each), so a
 # duration-based benchtime would give it one noisy iteration; pin a fixed
@@ -140,25 +171,53 @@ SHARDED_BENCHTIME="${SHARDED_BENCHTIME:-1s}"
 # The cache ladder needs enough iterations to cycle its 32 pre-drawn batches
 # several times past the warm pass; 2s per rung is plenty.
 CACHE_BENCHTIME="${CACHE_BENCHTIME:-2s}"
+# The persistence ladder's fsync rung converges fast (each op is an fsync);
+# 1s keeps the three rungs cheap while still averaging hundreds of syncs.
+PERSIST_BENCHTIME="${PERSIST_BENCHTIME:-1s}"
 PATTERN='^(BenchmarkServeLockedUnderMutation|BenchmarkServeSnapshotUnderMutation|BenchmarkBatchClassifyPerItemIndexed|BenchmarkBatchClassifyBatchInverted)$'
 AUDIT_PATTERN='^BenchmarkBatchClassifyAudit(Off|Default|Full)$'
 SHARDED_PATTERN='^BenchmarkShardedServe(SingleEngine|Shards[1248])$'
 CACHE_PATTERN='^BenchmarkVerdictCache(Off|Hit0|Hit50|Hit90)$'
-OUT=BENCH_PR8.json
+PERSIST_PATTERN='^BenchmarkPersist(Off|WAL|WALFsync)$'
+OUT=BENCH_PR9.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# run_bench PATTERN BENCHTIME: run one bench rung, echoing the raw output
+# and appending it to $RAW. Deliberately NOT `go test | tee`: in plain POSIX
+# sh (no pipefail) a pipeline's status is the LAST command's, so a failing
+# benchmark run exited 0 through tee and set -e never fired. Capturing to a
+# file and returning go test's own status makes the failure land regardless
+# of what the shell supports. BENCH_INJECT_FAIL short-circuits with a
+# failure so --exitcode-selftest can prove the propagation end to end.
+run_bench() {
+    if [ -n "${BENCH_INJECT_FAIL:-}" ]; then
+        echo "bench: injected failure (BENCH_INJECT_FAIL)" >&2
+        return 1
+    fi
+    _tmp=$(mktemp)
+    _status=0
+    go test -run '^$' -bench "$1" -benchtime "$2" . > "$_tmp" 2>&1 || _status=$?
+    cat "$_tmp"
+    cat "$_tmp" >> "$RAW"
+    rm -f "$_tmp"
+    return $_status
+}
+
 echo "== go test -bench (benchtime=$BENCHTIME) =="
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW"
+run_bench "$PATTERN" "$BENCHTIME"
 
 echo "== go test -bench audit overhead (benchtime=$AUDIT_BENCHTIME) =="
-go test -run '^$' -bench "$AUDIT_PATTERN" -benchtime "$AUDIT_BENCHTIME" . | tee -a "$RAW"
+run_bench "$AUDIT_PATTERN" "$AUDIT_BENCHTIME"
 
 echo "== go test -bench sharded scatter-gather ladder (benchtime=$SHARDED_BENCHTIME) =="
-go test -run '^$' -bench "$SHARDED_PATTERN" -benchtime "$SHARDED_BENCHTIME" . | tee -a "$RAW"
+run_bench "$SHARDED_PATTERN" "$SHARDED_BENCHTIME"
 
 echo "== go test -bench verdict-cache hit-rate ladder (benchtime=$CACHE_BENCHTIME) =="
-go test -run '^$' -bench "$CACHE_PATTERN" -benchtime "$CACHE_BENCHTIME" . | tee -a "$RAW"
+run_bench "$CACHE_PATTERN" "$CACHE_BENCHTIME"
+
+echo "== go test -bench persistence ladder (benchtime=$PERSIST_BENCHTIME) =="
+run_bench "$PERSIST_PATTERN" "$PERSIST_BENCHTIME"
 
 awk "$EMITTER" "$RAW" > "$OUT"
 go run ./scripts/jsoncheck "$OUT"

@@ -17,15 +17,16 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test -race (obs, core, serve incl. sim soak + sharded chaos harness, catalog, faultinject, crowd, opshttp) =="
+echo "== go test -race (obs, core, serve incl. sim soak + sharded chaos harness, catalog, faultinject, crowd, opshttp, persist incl. crash-consistency property test) =="
 go test -race ./internal/obs ./internal/core ./internal/serve ./internal/catalog \
-    ./internal/faultinject ./internal/crowd ./internal/opshttp
+    ./internal/faultinject ./internal/crowd ./internal/opshttp ./internal/persist
 
 echo "== go test -race (chimera resilience + decision provenance + sharded tier) =="
 go test -race ./internal/chimera -run 'TestResilientClient|TestClassifyDegraded|TestProvenance|TestShardedServer'
 
-echo "== bench emitter selftest + bench artifact validation =="
+echo "== bench emitter + exit-code selftests + bench artifact validation =="
 sh scripts/bench.sh --emitter-selftest
+sh scripts/bench.sh --exitcode-selftest
 if ls BENCH_PR*.json >/dev/null 2>&1; then
     go run ./scripts/jsoncheck BENCH_PR*.json
 fi
